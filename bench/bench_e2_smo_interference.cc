@@ -1,0 +1,144 @@
+// Experiment E2 — §1 claim 3 / §6: "all update activity and structure
+// change activity above the data level executes in short independent atomic
+// actions which do not impede normal database activity."
+//
+// Measures the latency distribution of point searches running concurrently
+// with a split-heavy insert stream, on the Π-tree (decomposed SMOs) vs. the
+// serial-SMO tree (whole structure changes serialized). Decomposition should
+// cut the search tail latency (p99), since searchers never wait for a whole
+// multi-level change.
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "baseline/serial_smo_tree.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "engine/page_alloc.h"
+
+namespace pitree {
+namespace bench {
+namespace {
+
+constexpr int kPreload = 8000;
+constexpr int kInserts = 12000;
+constexpr int kReaders = 3;
+constexpr size_t kValueSize = 220;  // big values -> frequent splits
+
+struct LatencyStats {
+  double p50, p90, p99, max;
+  uint64_t count;
+};
+
+template <typename InsertFn, typename GetFn>
+LatencyStats Run(Database* db, InsertFn insert, GetFn get) {
+  std::string value(kValueSize, 'v');
+  for (uint64_t i = 0; i < kPreload; ++i) {
+    Transaction* txn = db->Begin();
+    insert(txn, BenchKey(i), value).ok();
+    db->Commit(txn).ok();
+  }
+  std::atomic<bool> stop{false};
+  std::vector<double> latencies;
+  std::mutex lat_mu;
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      Random rnd(77 + r);
+      std::vector<double> local;
+      while (!stop.load(std::memory_order_relaxed)) {
+        Transaction* txn = db->Begin();
+        std::string v;
+        Timer t;
+        get(txn, BenchKey(rnd.Uniform(kPreload)), &v).ok();
+        local.push_back(t.ElapsedSeconds() * 1e6);
+        db->Commit(txn).ok();
+      }
+      std::lock_guard<std::mutex> lk(lat_mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  // The writer forces a steady stream of splits.
+  {
+    Random rnd(5);
+    for (uint64_t i = 0; i < kInserts; ++i) {
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        Transaction* txn = db->Begin();
+        Status s = insert(txn, BenchKey(kPreload + i), value);
+        if (s.ok()) {
+          db->Commit(txn).ok();
+          break;
+        }
+        db->Abort(txn).ok();
+        if (!s.IsDeadlock() && !s.IsBusy()) break;
+      }
+    }
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  std::sort(latencies.begin(), latencies.end());
+  return {Percentile(latencies, 0.50), Percentile(latencies, 0.90),
+          Percentile(latencies, 0.99),
+          latencies.empty() ? 0 : latencies.back(),
+          static_cast<uint64_t>(latencies.size())};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pitree
+
+int main() {
+  using namespace pitree;
+  using namespace pitree::bench;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  printf("E2: search latency under a split storm — decomposed vs serial "
+         "SMOs\n(microseconds; %d reader threads against one splitting "
+         "writer)\n\n",
+         kReaders);
+  PrintRow({"system", "searches", "p50", "p90", "p99", "max"},
+           {14, 12, 10, 10, 10, 12});
+
+  LatencyStats pi_stats;
+  {
+    BenchDb bdb;
+    PiTree* pi = nullptr;
+    bdb.db->CreateIndex("t", &pi).ok();
+    pi_stats = Run(
+        bdb.db.get(),
+        [&](Transaction* t, const Slice& k, const Slice& v) {
+          return pi->Insert(t, k, v);
+        },
+        [&](Transaction* t, const Slice& k, std::string* v) {
+          return pi->Get(t, k, v);
+        });
+    PrintRow({"pi-tree", FmtU(pi_stats.count), Fmt(pi_stats.p50),
+              Fmt(pi_stats.p90), Fmt(pi_stats.p99), Fmt(pi_stats.max)},
+             {14, 12, 10, 10, 10, 12});
+  }
+  LatencyStats ss_stats;
+  {
+    BenchDb bdb;
+    Transaction* txn = bdb.db->Begin();
+    PageId root;
+    EngineAllocPage(bdb.db->context(), txn, &root).ok();
+    bdb.db->Commit(txn).ok();
+    SerialSmoTree::Create(bdb.db->context(), root).ok();
+    SerialSmoTree ss(bdb.db->context(), root);
+    ss_stats = Run(
+        bdb.db.get(),
+        [&](Transaction* t, const Slice& k, const Slice& v) {
+          return ss.Insert(t, k, v);
+        },
+        [&](Transaction* t, const Slice& k, std::string* v) {
+          return ss.Get(t, k, v);
+        });
+    PrintRow({"serial-smo", FmtU(ss_stats.count), Fmt(ss_stats.p50),
+              Fmt(ss_stats.p90), Fmt(ss_stats.p99), Fmt(ss_stats.max)},
+             {14, 12, 10, 10, 10, 12});
+  }
+  printf("\np99 ratio serial/pi: %.2f  (expected > 1: serial SMOs stall "
+         "searchers)\n",
+         ss_stats.p99 / (pi_stats.p99 > 0 ? pi_stats.p99 : 1));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Experiment E4 — §4.2: recovery-method interaction. With page-oriented
+// UNDO, data-node splits that would move uncommitted records must run inside
+// the updating transaction under a move lock held to end-of-transaction,
+// blocking non-commuting updates; with logical (non-page-oriented) UNDO,
+// every split is a short independent atomic action.
+//
+// Workload: multi-operation transactions updating and inserting into a hot
+// key range at split pressure, several threads. Reported: throughput,
+// in-transaction splits, deadlock victims.
+
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "txn/lock_manager.h"
+
+namespace pitree {
+namespace bench {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr int kTxnsPerThread = 120;
+constexpr int kOpsPerTxn = 30;
+constexpr size_t kValueSize = 180;
+constexpr uint64_t kHotRange = 4000;
+
+struct Result {
+  double kops;
+  uint64_t in_txn_splits;
+  uint64_t splits;
+  uint64_t deadlocks;
+  uint64_t retries;
+};
+
+Result Run(bool page_oriented) {
+  Options opts;
+  opts.page_oriented_undo = page_oriented;
+  BenchDb bdb(opts);
+  PiTree* tree = nullptr;
+  bdb.db->CreateIndex("t", &tree).ok();
+  std::string value(kValueSize, 'v');
+  for (uint64_t i = 0; i < kHotRange; ++i) {
+    Transaction* txn = bdb.db->Begin();
+    tree->Insert(txn, BenchKey(i), value).ok();
+    bdb.db->Commit(txn).ok();
+  }
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> next_range{1};
+  std::vector<std::thread> workers;
+  Timer timer;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Random rnd(900 + t);
+      for (int i = 0; i < kTxnsPerThread; ++i) {
+        // Each transaction bulk-inserts a run of consecutive keys into a
+        // fresh range: the run overflows leaves that are full of the
+        // transaction's OWN uncommitted inserts — the §4.2.1 case where a
+        // page-oriented-undo split must run inside the transaction under
+        // a move lock (the records to be moved belong to the splitter).
+        uint64_t base = kHotRange + next_range.fetch_add(1) * 1000;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          Transaction* txn = bdb.db->Begin();
+          Status s;
+          for (int op = 0; op < kOpsPerTxn && s.ok(); ++op) {
+            s = tree->Insert(txn, BenchKey(base + op), value);
+            if (s.IsInvalidArgument()) s = Status::OK();  // retry overlap
+          }
+          if (s.ok()) {
+            bdb.db->Commit(txn).ok();
+            break;
+          }
+          bdb.db->Abort(txn).ok();
+          retries.fetch_add(1);
+          if (!s.IsDeadlock() && !s.IsBusy()) break;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  double secs = timer.ElapsedSeconds();
+  Result r;
+  r.kops = kThreads * kTxnsPerThread * kOpsPerTxn / secs / 1000;
+  r.in_txn_splits = tree->stats().in_txn_splits.load();
+  r.splits = tree->stats().splits.load();
+  r.deadlocks = bdb.db->context()->locks->deadlock_count();
+  r.retries = retries.load();
+  return r;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pitree
+
+int main() {
+  using namespace pitree;
+  using namespace pitree::bench;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  printf("E4: recovery-method interaction — page-oriented UNDO (move locks) "
+         "vs logical UNDO\n(%d threads, %d-insert transactions filling fresh key "
+         "runs)\n\n",
+         kThreads, kOpsPerTxn);
+  PrintRow({"undo mode", "kops/s", "splits", "in-txn", "deadlocks",
+            "retries"},
+           {16, 10, 10, 10, 10, 10});
+  Result logical = Run(/*page_oriented=*/false);
+  PrintRow({"logical", Fmt(logical.kops, 1), FmtU(logical.splits),
+            FmtU(logical.in_txn_splits), FmtU(logical.deadlocks),
+            FmtU(logical.retries)},
+           {16, 10, 10, 10, 10, 10});
+  Result page = Run(/*page_oriented=*/true);
+  PrintRow({"page-oriented", Fmt(page.kops, 1), FmtU(page.splits),
+            FmtU(page.in_txn_splits), FmtU(page.deadlocks),
+            FmtU(page.retries)},
+           {16, 10, 10, 10, 10, 10});
+  printf("\nExpected shape (§6): logical undo wins — \"should the recovery "
+         "method support\nnon-page-oriented UNDO, even data node splitting "
+         "can occur outside the database\ntransaction\"; page-oriented undo "
+         "pays with move-lock waits, in-transaction splits,\nand deadlock "
+         "retries.\n");
+  return 0;
+}

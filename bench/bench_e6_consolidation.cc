@@ -1,0 +1,136 @@
+// Experiment E6 — §5.2.1 vs §5.2.2: the regimes around node consolidation.
+//   CNS  (consolidation not supported): single-latch traversal, immortal
+//        nodes, trusted saved paths — but deleted space is never reclaimed.
+//   CP/a (consolidation, dealloc is NOT a node update): latch coupling;
+//        re-traversals restart at the root.
+//   CP/b (consolidation, dealloc IS a node update): latch coupling; a log
+//        record per dealloc buys re-traversals that restart mid-path.
+//
+// Phase 1 measures pure search throughput (the latch-coupling tax).
+// Phase 2 runs a delete-heavy churn and reports space reclamation.
+
+#include <atomic>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "storage/space_map.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+namespace bench {
+namespace {
+
+constexpr uint64_t kPreload = 30000;
+constexpr size_t kValueSize = 120;
+constexpr int kSearchThreads = 4;
+constexpr int kSearchesPerThread = 15000;
+
+struct Result {
+  double search_kops;
+  uint64_t consolidations;
+  uint64_t pages_allocated_after_churn;
+  uint64_t wal_bytes;
+};
+
+uint64_t CountAllocatedPages(Database* db) {
+  // Pages 0..capacity scanned via the space map image.
+  PageHandle sm;
+  db->context()->pool->FetchPage(0, &sm).ok();
+  uint64_t count = 0;
+  for (PageId id = 0; id < 65000; ++id) {
+    if (SmIsAllocated(sm.data(), id)) ++count;
+  }
+  return count;
+}
+
+Result Run(bool consolidation, bool dealloc_update) {
+  Options opts;
+  opts.consolidation_enabled = consolidation;
+  opts.dealloc_is_node_update = dealloc_update;
+  BenchDb bdb(opts);
+  PiTree* tree = nullptr;
+  bdb.db->CreateIndex("t", &tree).ok();
+  std::string value(kValueSize, 'v');
+  for (uint64_t i = 0; i < kPreload; ++i) {
+    Transaction* txn = bdb.db->Begin();
+    tree->Insert(txn, BenchKey(i), value).ok();
+    bdb.db->Commit(txn).ok();
+  }
+
+  // Phase 1: concurrent search throughput (CNS needs only one latch at a
+  // time; CP must latch-couple, §5.2).
+  std::vector<std::thread> readers;
+  Timer timer;
+  for (int t = 0; t < kSearchThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Random rnd(31 + t);
+      for (int i = 0; i < kSearchesPerThread; ++i) {
+        Transaction* txn = bdb.db->Begin();
+        std::string v;
+        tree->Get(txn, BenchKey(rnd.Uniform(kPreload)), &v).ok();
+        bdb.db->Commit(txn).ok();
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  double search_secs = timer.ElapsedSeconds();
+
+  // Phase 2: delete-heavy churn, then count pages still allocated.
+  uint64_t wal_before = bdb.db->context()->wal->next_lsn();
+  for (uint64_t i = 0; i < kPreload; ++i) {
+    if (i % 10 == 0) continue;
+    Transaction* txn = bdb.db->Begin();
+    tree->Delete(txn, BenchKey(i)).ok();
+    bdb.db->Commit(txn).ok();
+  }
+  // Touch the survivors so traversals notice under-utilized nodes.
+  for (uint64_t i = 0; i < kPreload; i += 10) {
+    Transaction* txn = bdb.db->Begin();
+    std::string v;
+    tree->Get(txn, BenchKey(i), &v).ok();
+    bdb.db->Commit(txn).ok();
+  }
+
+  Result r;
+  r.search_kops = kSearchThreads * kSearchesPerThread / search_secs / 1000;
+  r.consolidations = tree->stats().consolidations_performed.load();
+  r.pages_allocated_after_churn = CountAllocatedPages(bdb.db.get());
+  r.wal_bytes = bdb.db->context()->wal->next_lsn() - wal_before;
+  return r;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pitree
+
+int main() {
+  using namespace pitree;
+  using namespace pitree::bench;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  printf("E6: consolidation regimes — CNS vs CP with dealloc strategies "
+         "(§5.2)\n\n");
+  PrintRow({"regime", "search kops/s", "consolidations", "pages after churn",
+            "churn WAL MiB"},
+           {22, 16, 16, 18, 14});
+  struct Cfg {
+    bool cons, dealloc;
+    const char* name;
+  } cfgs[] = {
+      {false, false, "CNS (no consolidate)"},
+      {true, false, "CP/a (silent dealloc)"},
+      {true, true, "CP/b (logged dealloc)"},
+  };
+  for (const auto& cfg : cfgs) {
+    Result r = Run(cfg.cons, cfg.dealloc);
+    PrintRow({cfg.name, Fmt(r.search_kops, 1), FmtU(r.consolidations),
+              FmtU(r.pages_allocated_after_churn),
+              Fmt(r.wal_bytes / (1024.0 * 1024.0), 2)},
+             {22, 16, 16, 18, 14});
+  }
+  printf("\nExpected shape: CNS searches fastest (single latch, no "
+         "coupling) but reclaims\nnothing after churn; CP variants reclaim "
+         "pages; CP/b writes slightly more WAL\n(a record per dealloc) in "
+         "exchange for mid-path re-traversals (see E5).\n");
+  return 0;
+}

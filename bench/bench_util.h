@@ -1,0 +1,94 @@
+#ifndef PITREE_BENCH_BENCH_UTIL_H_
+#define PITREE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "env/sim_env.h"
+
+namespace pitree {
+namespace bench {
+
+/// All experiments run over SimEnv: an in-memory store with explicit
+/// durability boundaries. This removes disk noise so the measured deltas
+/// isolate the concurrency/recovery protocols — which is what the paper's
+/// claims are about. Absolute numbers are therefore not comparable to disk
+/// systems; shapes and ratios are what EXPERIMENTS.md reports.
+struct BenchDb {
+  SimEnv env;
+  std::unique_ptr<Database> db;
+  Options options;
+
+  explicit BenchDb(Options opts = Options()) : options(opts) {
+    // Callers that did not size the pool themselves get a big one.
+    if (options.buffer_pool_pages == Options().buffer_pool_pages) {
+      options.buffer_pool_pages = 8192;
+    }
+    Status s = Database::Open(options, &env, "bench", &db);
+    if (!s.ok()) {
+      fprintf(stderr, "bench db open failed: %s\n", s.ToString().c_str());
+      abort();
+    }
+  }
+};
+
+inline std::string BenchKey(uint64_t i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "key%012llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints a row of a paper-style table: fixed-width columns.
+inline void PrintRow(const std::vector<std::string>& cells,
+                     const std::vector<int>& widths) {
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    int w = i < widths.size() ? widths[i] : 14;
+    char buf[96];
+    snprintf(buf, sizeof(buf), "%-*s", w, cells[i].c_str());
+    line += buf;
+  }
+  printf("%s\n", line.c_str());
+}
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string FmtU(uint64_t v) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Percentile of a sorted latency vector (microseconds).
+inline double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace bench
+}  // namespace pitree
+
+#endif  // PITREE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,106 @@
+// Crash recovery demo — the paper's claim 4 in action.
+//
+// Runs a workload, "pulls the plug" mid-flight (SimEnv discards every byte
+// not explicitly synced, exactly like a power failure losing the OS cache),
+// and reopens the database. Recovery replays the log: committed work
+// survives, the in-flight transaction vanishes, and any structure change
+// caught between its atomic actions is simply left in its (well-formed)
+// intermediate state, to be completed by ordinary traversals afterward.
+
+#include <cstdio>
+#include <memory>
+
+#include "db/database.h"
+#include "env/sim_env.h"
+
+using namespace pitree;
+
+namespace {
+std::string Key(int i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "row%08d", i);
+  return buf;
+}
+}  // namespace
+
+int main() {
+  SimEnv env;
+  Options options;
+
+  printf("--- phase 1: populate, then crash mid-transaction ---\n");
+  {
+    std::unique_ptr<Database> db;
+    if (!Database::Open(options, &env, "demo", &db).ok()) return 1;
+    PiTree* table = nullptr;
+    if (!db->CreateIndex("table", &table).ok()) return 1;
+
+    std::string value(150, 'd');
+    for (int i = 0; i < 2000; ++i) {
+      Transaction* txn = db->Begin();
+      table->Insert(txn, Key(i), value).ok();
+      db->Commit(txn).ok();  // commit forces the WAL — this work is durable
+    }
+    printf("committed 2000 rows (%llu page splits happened along the way)\n",
+           (unsigned long long)table->stats().splits.load());
+
+    // An in-flight transaction: inserts enough to trigger more splits,
+    // never commits.
+    Transaction* doomed = db->Begin();
+    for (int i = 5000; i < 5400; ++i) {
+      table->Insert(doomed, Key(i), value).ok();
+    }
+    // Push its log records to disk WITHOUT a commit — the worst case:
+    // the crash must undo work that is already durable in the log.
+    db->context()->wal->FlushAll().ok();
+    printf("left a 400-row transaction uncommitted; crashing now...\n");
+
+    env.Crash();   // power failure: unsynced state is gone
+    db.release();  // the process is gone too; nothing runs destructors
+  }
+
+  printf("\n--- phase 2: reopen; recovery runs automatically ---\n");
+  RecoveryStats stats;
+  std::unique_ptr<Database> db;
+  if (!Database::Open(options, &env, "demo", &db, &stats).ok()) return 1;
+  printf("recovery: %llu records analyzed, %llu redone, %llu undone, "
+         "%llu loser txns, %llu loser atomic actions\n",
+         (unsigned long long)stats.records_analyzed,
+         (unsigned long long)stats.records_redone,
+         (unsigned long long)stats.records_undone,
+         (unsigned long long)stats.loser_user_txns,
+         (unsigned long long)stats.loser_atomic_actions);
+
+  PiTree* table = nullptr;
+  if (!db->GetIndex("table", &table).ok()) return 1;
+
+  // Committed rows are all present.
+  int present = 0, phantom = 0;
+  for (int i = 0; i < 2000; ++i) {
+    Transaction* txn = db->Begin();
+    std::string v;
+    if (table->Get(txn, Key(i), &v).ok()) ++present;
+    db->Commit(txn).ok();
+  }
+  // The doomed transaction's rows are all gone.
+  for (int i = 5000; i < 5400; ++i) {
+    Transaction* txn = db->Begin();
+    std::string v;
+    if (table->Get(txn, Key(i), &v).ok()) ++phantom;
+    db->Commit(txn).ok();
+  }
+  printf("committed rows found: %d/2000, uncommitted rows leaked: %d/400\n",
+         present, phantom);
+
+  std::string report;
+  Status wf = table->CheckWellFormed(&report);
+  printf("tree well-formed after recovery: %s\n",
+         wf.ok() ? "yes" : report.c_str());
+
+  // And the database is immediately serviceable.
+  Transaction* txn = db->Begin();
+  table->Insert(txn, "post-recovery", "works").ok();
+  db->Commit(txn).ok();
+  printf("post-recovery insert: ok\n");
+
+  return (present == 2000 && phantom == 0 && wf.ok()) ? 0 : 1;
+}

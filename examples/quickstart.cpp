@@ -1,0 +1,92 @@
+// Quickstart: open a database, create a Π-tree index, and run transactional
+// reads and writes.
+//
+//   build/examples/quickstart [directory]
+//
+// With a directory argument the database lives on the real filesystem
+// (PosixEnv); without one it runs on the in-memory SimEnv.
+
+#include <cstdio>
+#include <memory>
+
+#include "db/database.h"
+#include "env/sim_env.h"
+
+using namespace pitree;
+
+#define CHECK_OK(expr)                                             \
+  do {                                                             \
+    ::pitree::Status _s = (expr);                                  \
+    if (!_s.ok()) {                                                \
+      fprintf(stderr, "%s failed: %s\n", #expr,                    \
+              _s.ToString().c_str());                              \
+      return 1;                                                    \
+    }                                                              \
+  } while (0)
+
+int main(int argc, char** argv) {
+  SimEnv sim;
+  Env* env = &sim;
+  std::string name = "quickstart";
+  if (argc > 1) {
+    env = GetPosixEnv();
+    name = std::string(argv[1]) + "/quickstart";
+  }
+
+  // Open runs crash recovery automatically; on a fresh database it
+  // bootstraps the metadata pages.
+  Options options;
+  std::unique_ptr<Database> db;
+  CHECK_OK(Database::Open(options, env, name, &db));
+
+  PiTree* users = nullptr;
+  CHECK_OK(db->CreateIndex("users", &users));
+
+  // Simple transactional writes: each transaction is atomic and durable.
+  Transaction* txn = db->Begin();
+  CHECK_OK(users->Insert(txn, "alice", "engineer"));
+  CHECK_OK(users->Insert(txn, "bob", "operator"));
+  CHECK_OK(users->Insert(txn, "carol", "analyst"));
+  CHECK_OK(db->Commit(txn));
+  printf("inserted 3 users\n");
+
+  // Reads take share locks; this transaction sees a consistent snapshot
+  // under two-phase locking.
+  txn = db->Begin();
+  std::string value;
+  CHECK_OK(users->Get(txn, "alice", &value));
+  printf("alice -> %s\n", value.c_str());
+  CHECK_OK(db->Commit(txn));
+
+  // Updates and deletes.
+  txn = db->Begin();
+  CHECK_OK(users->Update(txn, "alice", "principal engineer"));
+  CHECK_OK(users->Delete(txn, "bob"));
+  CHECK_OK(db->Commit(txn));
+
+  // Aborting rolls everything back.
+  txn = db->Begin();
+  CHECK_OK(users->Insert(txn, "mallory", "intruder"));
+  CHECK_OK(db->Abort(txn));
+  txn = db->Begin();
+  Status s = users->Get(txn, "mallory", &value);
+  printf("mallory after abort: %s\n", s.ToString().c_str());
+  CHECK_OK(db->Commit(txn));
+
+  // Range scan.
+  txn = db->Begin();
+  std::vector<NodeEntry> rows;
+  CHECK_OK(users->Scan(txn, "a", 10, &rows));
+  CHECK_OK(db->Commit(txn));
+  printf("scan from 'a':\n");
+  for (const auto& row : rows) {
+    printf("  %s -> %s\n", row.key.c_str(), row.value.c_str());
+  }
+
+  // The tree's structural invariants (paper §2.1.3) can be audited any
+  // time the database is quiesced.
+  std::string report;
+  CHECK_OK(users->CheckWellFormed(&report));
+  printf("tree is well-formed\n");
+  return 0;
+}

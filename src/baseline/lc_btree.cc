@@ -1,0 +1,424 @@
+#include "baseline/lc_btree.h"
+
+#include <cassert>
+#include <map>
+
+#include "engine/log_apply.h"
+#include "engine/page_alloc.h"
+#include "recovery/recovery_manager.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+
+namespace {
+// A node is "safe" for an insert of `bytes` if it cannot split: classic
+// conservative test.
+bool SafeForInsert(const NodeRef& node, size_t bytes) {
+  // Generous margin: a propagated separator (key + index term + slot) must
+  // always fit in a "safe" ancestor regardless of the record's value size.
+  return node.FreeSpace() >= bytes + 64;
+}
+}  // namespace
+
+LcBTree::LcBTree(EngineContext* ctx, PageId root) : ctx_(ctx), root_(root) {}
+
+Status LcBTree::Create(EngineContext* ctx, PageId root) {
+  Transaction* action = ctx->txns->Begin(/*is_system=*/true);
+  PageHandle h;
+  Status s = ctx->pool->FetchPageZeroed(root, &h);
+  if (!s.ok()) {
+    ctx->txns->Abort(action);
+    return s;
+  }
+  h.latch().AcquireX();
+  PageInitHeader(h.data(), root, PageType::kTreeNode);
+  s = LogAndApply(ctx, action, h, PageOp::kNodeFormat,
+                  NodeRef::FormatPayload(0, kNodeFlagRoot,
+                                         kBoundLowNegInf | kBoundHighPosInf,
+                                         Slice(), Slice(), kInvalidPageId),
+                  PageOp::kNone, "");
+  h.latch().ReleaseX();
+  h.Reset();
+  if (!s.ok()) {
+    ctx->txns->Abort(action);
+    return s;
+  }
+  return ctx->txns->Commit(action);
+}
+
+void LcBTree::ReleasePath(std::vector<PageHandle>* path) {
+  for (auto it = path->rbegin(); it != path->rend(); ++it) {
+    it->latch().ReleaseX();
+    it->Reset();
+  }
+  path->clear();
+}
+
+Status LcBTree::DescendForWrite(const Slice& key, size_t incoming_bytes,
+                                std::vector<PageHandle>* path) {
+  path->clear();
+  PageHandle cur;
+  PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(root_, &cur));
+  cur.latch().AcquireX();
+  for (;;) {
+    NodeRef node(cur.data());
+    if (node.is_leaf()) {
+      path->push_back(std::move(cur));
+      return Status::OK();
+    }
+    int slot = node.FindChildSlot(key);
+    if (slot < 0) {
+      cur.latch().ReleaseX();
+      ReleasePath(path);
+      return Status::Corruption("lc-btree: no child covers key");
+    }
+    IndexTerm term;
+    if (!DecodeIndexTerm(node.EntryValue(slot), &term)) {
+      cur.latch().ReleaseX();
+      ReleasePath(path);
+      return Status::Corruption("lc-btree: bad index term");
+    }
+    PageHandle child;
+    Status s = ctx_->pool->FetchPage(term.child, &child);
+    if (!s.ok()) {
+      cur.latch().ReleaseX();
+      ReleasePath(path);
+      return s;
+    }
+    child.latch().AcquireX();
+    NodeRef cnode(child.data());
+    if (SafeForInsert(cnode, incoming_bytes)) {
+      // Safe child: the split cannot propagate here — drop every ancestor.
+      cur.latch().ReleaseX();
+      cur.Reset();
+      ReleasePath(path);
+    } else {
+      stats_.retained_ancestors.fetch_add(1, std::memory_order_relaxed);
+      path->push_back(std::move(cur));
+    }
+    cur = std::move(child);
+  }
+}
+
+Status LcBTree::SplitPath(std::vector<PageHandle>* path, const Slice& key) {
+  // All handles X-latched; path->front() is the deepest retained unsafe
+  // ancestor (or the leaf itself), path->back() the leaf. Split bottom-up
+  // inside one atomic action while the entire path stays latched — this is
+  // precisely the serialization the Π-tree decomposition removes.
+  Transaction* action = ctx_->txns->Begin(/*is_system=*/true);
+  std::map<PageId, PageHandle*> pages;
+  for (auto& h : *path) pages[h.id()] = &h;
+
+  Status s;
+  for (size_t i = path->size(); i-- > 0;) {
+    PageHandle& h = (*path)[i];
+    NodeRef node(h.data());
+    if (node.is_root()) {
+      // Same mechanics as the Π-tree root grow (immortal root page):
+      // move contents to two children, bump the level.
+      int split_slot = node.entry_count() / 2;
+      if (split_slot < 1) {
+        s = Status::NoSpace("root too small to grow");
+        break;
+      }
+      std::string split_key = node.EntryKey(split_slot).ToString();
+      std::vector<NodeEntry> all = node.AllEntries();
+      std::vector<NodeEntry> lower(all.begin(), all.begin() + split_slot);
+      std::vector<NodeEntry> upper(all.begin() + split_slot, all.end());
+      std::string image = node.ImagePayload();
+      uint8_t old_level = node.level();
+      PageId bpid, cpid;
+      s = EngineAllocPage(ctx_, action, &bpid);
+      if (s.ok()) s = EngineAllocPage(ctx_, action, &cpid);
+      if (!s.ok()) break;
+      PageHandle bh, ch;
+      s = ctx_->pool->FetchPageZeroed(bpid, &bh);
+      if (s.ok()) s = ctx_->pool->FetchPageZeroed(cpid, &ch);
+      if (!s.ok()) break;
+      bh.latch().AcquireX();
+      ch.latch().AcquireX();
+      PageInitHeader(bh.data(), bpid, PageType::kTreeNode);
+      PageInitHeader(ch.data(), cpid, PageType::kTreeNode);
+      s = LogAndApply(ctx_, action, bh, PageOp::kNodeFormat,
+                      NodeRef::FormatPayload(old_level, 0, kBoundHighPosInf,
+                                             split_key, Slice(),
+                                             kInvalidPageId),
+                      PageOp::kNone, "");
+      if (s.ok()) {
+        s = LogAndApply(ctx_, action, bh, PageOp::kNodeBulkLoad,
+                        NodeRef::BulkLoadPayload(upper), PageOp::kNone, "");
+      }
+      if (s.ok()) {
+        s = LogAndApply(ctx_, action, ch, PageOp::kNodeFormat,
+                        NodeRef::FormatPayload(old_level, 0, kBoundLowNegInf,
+                                               Slice(), split_key, bpid),
+                        PageOp::kNone, "");
+      }
+      if (s.ok()) {
+        s = LogAndApply(ctx_, action, ch, PageOp::kNodeBulkLoad,
+                        NodeRef::BulkLoadPayload(lower), PageOp::kNone, "");
+      }
+      if (s.ok()) {
+        s = LogAndApply(
+            ctx_, action, h, PageOp::kNodeFormat,
+            NodeRef::FormatPayload(old_level + 1, kNodeFlagRoot,
+                                   kBoundLowNegInf | kBoundHighPosInf,
+                                   Slice(), Slice(), kInvalidPageId),
+            PageOp::kNodeUnsplit, std::move(image));
+      }
+      if (s.ok()) {
+        s = LogAndApply(ctx_, action, h, PageOp::kNodeInsert,
+                        NodeRef::InsertPayload(Slice(), EncodeIndexTerm(cpid)),
+                        PageOp::kNodeDelete, NodeRef::DeletePayload(Slice()));
+      }
+      if (s.ok()) {
+        s = LogAndApply(ctx_, action, h, PageOp::kNodeInsert,
+                        NodeRef::InsertPayload(split_key,
+                                               EncodeIndexTerm(bpid)),
+                        PageOp::kNodeDelete,
+                        NodeRef::DeletePayload(split_key));
+      }
+      bh.latch().ReleaseX();
+      ch.latch().ReleaseX();
+      stats_.root_grows.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+
+    // Non-root: split and immediately post the separator into the parent,
+    // which is the next retained handle up the path (guaranteed to fit —
+    // that is what "unsafe ancestor retention" buys).
+    assert(i > 0);
+    int split_slot = node.entry_count() / 2;
+    if (split_slot < 1) {
+      s = Status::NoSpace("node too small to split");
+      break;
+    }
+    std::string split_key = node.EntryKey(split_slot).ToString();
+    std::vector<NodeEntry> moved = node.EntriesFrom(split_key);
+    std::string image = node.ImagePayload();
+    PageId bpid;
+    s = EngineAllocPage(ctx_, action, &bpid);
+    if (!s.ok()) break;
+    PageHandle bh;
+    s = ctx_->pool->FetchPageZeroed(bpid, &bh);
+    if (!s.ok()) break;
+    bh.latch().AcquireX();
+    PageInitHeader(bh.data(), bpid, PageType::kTreeNode);
+    uint8_t bound = node.high_is_pos_inf() ? kBoundHighPosInf : 0;
+    std::string high =
+        node.high_is_pos_inf() ? std::string() : node.high_key().ToString();
+    s = LogAndApply(ctx_, action, bh, PageOp::kNodeFormat,
+                    NodeRef::FormatPayload(node.level(), 0, bound, split_key,
+                                           high, node.right_sibling()),
+                    PageOp::kNone, "");
+    if (s.ok()) {
+      s = LogAndApply(ctx_, action, bh, PageOp::kNodeBulkLoad,
+                      NodeRef::BulkLoadPayload(moved), PageOp::kNone, "");
+    }
+    if (s.ok()) {
+      s = LogAndApply(ctx_, action, h, PageOp::kNodeSplitApply,
+                      NodeRef::SplitPayload(split_key, bpid),
+                      PageOp::kNodeUnsplit, std::move(image));
+    }
+    if (s.ok()) {
+      PageHandle& parent = (*path)[i - 1];
+      s = LogAndApply(ctx_, action, parent, PageOp::kNodeInsert,
+                      NodeRef::InsertPayload(split_key,
+                                             EncodeIndexTerm(bpid)),
+                      PageOp::kNodeDelete, NodeRef::DeletePayload(split_key));
+    }
+    bh.latch().ReleaseX();
+    if (!s.ok()) break;
+    stats_.splits.fetch_add(1, std::memory_order_relaxed);
+    // The parent absorbed one separator; if it is still over-full the loop
+    // continues upward (it was retained precisely because it was unsafe).
+    NodeRef parent_ref((*path)[i - 1].data());
+    if (SafeForInsert(parent_ref, 0)) break;
+  }
+
+  if (!s.ok()) {
+    // Roll back the whole action with our latched pages.
+    Lsn lsn;
+    if (action->last_lsn != kInvalidLsn) {
+      ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn).ok();
+      action->last_lsn = lsn;
+      ctx_->recovery->RollbackTxnWithPages(action, pages).ok();
+      ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
+    }
+    ctx_->locks->ReleaseAll(action);
+    ctx_->txns->Discard(action);
+    return s;
+  }
+  return ctx_->txns->Commit(action);
+}
+
+Status LcBTree::Insert(Transaction* txn, const Slice& key,
+                       const Slice& value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  for (;;) {
+    std::vector<PageHandle> path;
+    PITREE_RETURN_IF_ERROR(
+        DescendForWrite(key, key.size() + value.size() + 8, &path));
+    PageHandle& leaf = path.back();
+
+    // Record lock: to honor the No-Wait Rule the whole X-latched path must
+    // be dropped before waiting, then the operation restarts.
+    std::string name = RecordLockName(root_, key);
+    Status s = ctx_->locks->Lock(txn, name, LockMode::kX, /*wait=*/false);
+    if (s.IsBusy()) {
+      ReleasePath(&path);
+      PITREE_RETURN_IF_ERROR(ctx_->locks->Lock(txn, name, LockMode::kX,
+                                               /*wait=*/true));
+      stats_.restarts.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!s.ok()) return s;
+
+    NodeRef node(leaf.data());
+    bool found;
+    node.FindSlot(key, &found);
+    if (found) {
+      ReleasePath(&path);
+      return Status::InvalidArgument("key already exists");
+    }
+    if (!node.CanFit(key.size(), value.size())) {
+      s = SplitPath(&path, key);
+      ReleasePath(&path);
+      PITREE_RETURN_IF_ERROR(s);
+      stats_.restarts.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    s = LogAndApply(ctx_, txn, leaf, PageOp::kNodeInsert,
+                    NodeRef::InsertPayload(key, value), PageOp::kNodeDelete,
+                    NodeRef::DeletePayload(key));
+    ReleasePath(&path);
+    return s;
+  }
+}
+
+Status LcBTree::Get(Transaction* txn, const Slice& key, std::string* value) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  for (;;) {
+    // Readers use S latch coupling top-down — one coupled pair at a time.
+    PageHandle cur;
+    PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(root_, &cur));
+    cur.latch().AcquireS();
+    for (;;) {
+      NodeRef node(cur.data());
+      if (node.is_leaf()) break;
+      int slot = node.FindChildSlot(key);
+      IndexTerm term;
+      if (slot < 0 || !DecodeIndexTerm(node.EntryValue(slot), &term)) {
+        cur.latch().ReleaseS();
+        return Status::Corruption("lc-btree: bad descent");
+      }
+      PageHandle child;
+      PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(term.child, &child));
+      child.latch().AcquireS();
+      cur.latch().ReleaseS();
+      cur = std::move(child);
+    }
+    std::string name = RecordLockName(root_, key);
+    Status s = ctx_->locks->Lock(txn, name, LockMode::kS, /*wait=*/false);
+    if (s.IsBusy()) {
+      cur.latch().ReleaseS();
+      cur.Reset();
+      PITREE_RETURN_IF_ERROR(ctx_->locks->Lock(txn, name, LockMode::kS,
+                                               /*wait=*/true));
+      stats_.restarts.fetch_add(1, std::memory_order_relaxed);
+      continue;  // restart: the leaf may have split while we waited
+    }
+    if (!s.ok()) return s;
+    NodeRef node(cur.data());
+    bool found;
+    int slot = node.FindSlot(key, &found);
+    Status result;
+    if (found) {
+      if (value != nullptr) *value = node.EntryValue(slot).ToString();
+      result = Status::OK();
+    } else {
+      result = Status::NotFound("key absent");
+    }
+    cur.latch().ReleaseS();
+    return result;
+  }
+}
+
+Status LcBTree::Delete(Transaction* txn, const Slice& key) {
+  if (key.empty()) return Status::InvalidArgument("empty key");
+  for (;;) {
+    std::vector<PageHandle> path;
+    PITREE_RETURN_IF_ERROR(DescendForWrite(key, 0, &path));
+    PageHandle& leaf = path.back();
+    std::string name = RecordLockName(root_, key);
+    Status s = ctx_->locks->Lock(txn, name, LockMode::kX, /*wait=*/false);
+    if (s.IsBusy()) {
+      ReleasePath(&path);
+      PITREE_RETURN_IF_ERROR(ctx_->locks->Lock(txn, name, LockMode::kX,
+                                               /*wait=*/true));
+      continue;
+    }
+    if (!s.ok()) return s;
+    NodeRef node(leaf.data());
+    bool found;
+    int slot = node.FindSlot(key, &found);
+    if (!found) {
+      ReleasePath(&path);
+      return Status::NotFound("key absent");
+    }
+    std::string old_value = node.EntryValue(slot).ToString();
+    s = LogAndApply(ctx_, txn, leaf, PageOp::kNodeDelete,
+                    NodeRef::DeletePayload(key), PageOp::kNodeInsert,
+                    NodeRef::InsertPayload(key, old_value));
+    ReleasePath(&path);
+    return s;
+  }
+}
+
+Status LcBTree::Scan(Transaction* txn, const Slice& start, size_t limit,
+                     std::vector<NodeEntry>* out) {
+  out->clear();
+  PageHandle cur;
+  PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(root_, &cur));
+  cur.latch().AcquireS();
+  for (;;) {
+    NodeRef node(cur.data());
+    if (node.is_leaf()) break;
+    int slot = node.FindChildSlot(start);
+    if (slot < 0) slot = 0;
+    IndexTerm term;
+    if (!DecodeIndexTerm(node.EntryValue(slot), &term)) {
+      cur.latch().ReleaseS();
+      return Status::Corruption("lc-btree: bad index term");
+    }
+    PageHandle child;
+    PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(term.child, &child));
+    child.latch().AcquireS();
+    cur.latch().ReleaseS();
+    cur = std::move(child);
+  }
+  std::string resume = start.ToString();
+  while (out->size() < limit) {
+    NodeRef node(cur.data());
+    bool found;
+    int slot = node.FindSlot(resume, &found);
+    for (int i = slot; i < node.entry_count() && out->size() < limit; ++i) {
+      out->push_back(
+          {node.EntryKey(i).ToString(), node.EntryValue(i).ToString()});
+    }
+    PageId next = node.right_sibling();  // leaf chain maintained by splits
+    if (out->size() >= limit || next == kInvalidPageId) break;
+    resume = node.high_is_pos_inf() ? resume : node.high_key().ToString();
+    PageHandle nh;
+    PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(next, &nh));
+    nh.latch().AcquireS();
+    cur.latch().ReleaseS();
+    cur = std::move(nh);
+  }
+  cur.latch().ReleaseS();
+  return Status::OK();
+}
+
+}  // namespace pitree

@@ -1,0 +1,77 @@
+#ifndef PITREE_BASELINE_LC_BTREE_H_
+#define PITREE_BASELINE_LC_BTREE_H_
+
+#include <atomic>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/engine_context.h"
+#include "pitree/node_page.h"
+#include "storage/buffer_pool.h"
+#include "txn/transaction.h"
+
+namespace pitree {
+
+struct LcBTreeStats {
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> root_grows{0};
+  std::atomic<uint64_t> restarts{0};
+  std::atomic<uint64_t> retained_ancestors{0};  // unsafe-path latch holds
+};
+
+/// Baseline 1 (experiment E1): a classic lock-coupling B+-tree in the
+/// Bayer–Schkolnick style [1]: no side pointers in the search protocol,
+/// readers S-couple down the tree, writers X-couple and *retain* latches on
+/// every unsafe ancestor so a split can propagate upward while the whole
+/// path stays exclusively latched. Structure changes are therefore serial
+/// with respect to any operation touching the affected path — exactly the
+/// behavior the Π-tree's decomposed atomic actions avoid.
+///
+/// Shares the full substrate with the Π-tree (same pages, WAL, buffer pool,
+/// latches, locks), so throughput differences isolate the protocol.
+///
+/// Limitation (by design, documented for fairness): record undo is
+/// page-oriented but the baseline implements no move locks, so it is only
+/// abort-safe for transactions whose updates are not moved by a later split
+/// before commit; benchmarks use single-operation transactions.
+class LcBTree {
+ public:
+  LcBTree(EngineContext* ctx, PageId root);
+  LcBTree(const LcBTree&) = delete;
+  LcBTree& operator=(const LcBTree&) = delete;
+
+  /// Formats `root` as an empty leaf root (atomic action).
+  static Status Create(EngineContext* ctx, PageId root);
+
+  Status Insert(Transaction* txn, const Slice& key, const Slice& value);
+  Status Get(Transaction* txn, const Slice& key, std::string* value);
+  Status Delete(Transaction* txn, const Slice& key);
+  Status Scan(Transaction* txn, const Slice& start, size_t limit,
+              std::vector<NodeEntry>* out);
+
+  PageId root() const { return root_; }
+  const LcBTreeStats& stats() const { return stats_; }
+
+ private:
+  /// Descends with X latch coupling, retaining latches on unsafe ancestors.
+  /// On return `path->back()` is the leaf; all handles in `path` are
+  /// X-latched.
+  Status DescendForWrite(const Slice& key, size_t incoming_bytes,
+                         std::vector<PageHandle>* path);
+
+  /// Splits the leaf at path->back(), propagating up through the retained
+  /// ancestors; all within one atomic action. Releases nothing.
+  Status SplitPath(std::vector<PageHandle>* path, const Slice& key);
+
+  void ReleasePath(std::vector<PageHandle>* path);
+
+  EngineContext* const ctx_;
+  const PageId root_;
+  mutable LcBTreeStats stats_;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_BASELINE_LC_BTREE_H_

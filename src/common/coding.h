@@ -1,0 +1,63 @@
+#ifndef PITREE_COMMON_CODING_H_
+#define PITREE_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/slice.h"
+
+namespace pitree {
+
+// Little-endian fixed-width encoders/decoders plus LEB128 varints and
+// length-prefixed strings. All log records and page payloads use these,
+// so the on-disk format is platform independent.
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  memcpy(dst, &value, sizeof(value));  // assumes little-endian host
+}
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  uint16_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+void PutFixed16(std::string* dst, uint16_t value);
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a varint32 length followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Each Get* consumes bytes from the front of `input` and returns true on
+/// success; on failure `input` is unspecified and false is returned.
+bool GetFixed16(Slice* input, uint16_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+}  // namespace pitree
+
+#endif  // PITREE_COMMON_CODING_H_

@@ -1,0 +1,43 @@
+#include "common/crc32.h"
+
+namespace pitree {
+
+namespace {
+
+// Table-driven CRC-32C, generated at first use.
+struct Crc32cTable {
+  uint32_t table[256];
+  Crc32cTable() {
+    const uint32_t poly = 0x82f63b78u;  // reflected Castagnoli polynomial
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+      }
+      table[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& GetTable() {
+  static const Crc32cTable* table = new Crc32cTable();
+  return *table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
+  const Crc32cTable& t = GetTable();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = t.table[(crc ^ static_cast<unsigned char>(data[i])) & 0xff] ^
+          (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const char* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace pitree

@@ -1,0 +1,51 @@
+#ifndef PITREE_COMMON_OPTIONS_H_
+#define PITREE_COMMON_OPTIONS_H_
+
+#include <cstddef>
+
+namespace pitree {
+
+/// Engine-wide configuration. The flags select between the regimes the
+/// paper analyzes, so experiments can measure each choice.
+struct Options {
+  /// Buffer pool capacity in pages.
+  size_t buffer_pool_pages = 512;
+
+  /// CP vs. CNS (§5.2). When false, node consolidation never runs; the tree
+  /// uses the Consolidation-Not-Supported invariant: single-latch traversal,
+  /// no latch coupling, saved paths trusted without re-verification of node
+  /// existence.
+  bool consolidation_enabled = true;
+
+  /// §5.2.2 strategy (a) vs (b). When true, de-allocation bumps the victim
+  /// node's state identifier (logs an update against it) so re-traversals
+  /// can restart from the deepest unchanged saved-path node; when false,
+  /// de-allocation leaves the node's state id alone and re-traversals
+  /// restart from the (immortal, never-moving) root.
+  bool dealloc_is_node_update = false;
+
+  /// §4.2: when true the recovery method is page-oriented UNDO — data-node
+  /// splits that move uncommitted records run inside the updating
+  /// transaction under a move lock held to end of transaction, and index
+  /// postings for them are deferred until commit. When false, undo is
+  /// logical and every structure change is an independent atomic action.
+  bool page_oriented_undo = false;
+
+  /// When true, completing atomic actions (index-term postings and
+  /// consolidations detected during traversals, §5.1) run synchronously at
+  /// the end of the triggering operation; when false they are queued for
+  /// the background completion thread.
+  bool inline_completion = true;
+
+  /// A node whose live payload falls below this percentage of usable space
+  /// is a consolidation candidate (§3.3).
+  size_t min_node_utilization_pct = 20;
+
+  /// Fraction of entries delegated on a split, in percent of the slot count
+  /// (50 = split at the median).
+  size_t split_point_pct = 50;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_COMMON_OPTIONS_H_

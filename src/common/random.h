@@ -1,0 +1,54 @@
+#ifndef PITREE_COMMON_RANDOM_H_
+#define PITREE_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace pitree {
+
+/// Small, fast xorshift-based PRNG for workload generation and fuzz tests.
+/// Deterministic for a given seed; not thread-safe (use one per thread).
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t Next() {
+    // xorshift64*
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Skewed value in [0, n): an approximate Zipf-like distribution produced
+  /// by exponentiation, used to create hot spots in benchmark workloads.
+  uint64_t Skewed(uint64_t n, double theta = 0.99);
+
+ private:
+  uint64_t state_;
+};
+
+inline uint64_t Random::Skewed(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  // Inverse-CDF of a bounded Pareto-ish distribution: value = n * u^(1/(1-theta)),
+  // clipped to [0, n). Cheap, and hot enough to model contention.
+  double u = NextDouble();
+  double exponent = 1.0 / (1.0 - theta);
+  uint64_t v = static_cast<uint64_t>(n * std::pow(u, exponent));
+  return v >= n ? n - 1 : v;
+}
+
+}  // namespace pitree
+
+#endif  // PITREE_COMMON_RANDOM_H_

@@ -1,0 +1,74 @@
+#ifndef PITREE_COMMON_SLICE_H_
+#define PITREE_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace pitree {
+
+/// A non-owning view of a byte range, with lexicographic (unsigned byte)
+/// comparison. Keys and values in the library are Slices; the pointed-to
+/// storage must outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(""), size_(0) {}
+  Slice(const char* d, size_t n) : data_(d), size_(n) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(strlen(s)) {}               // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t n) const {
+    assert(n < size_);
+    return data_[n];
+  }
+
+  void remove_prefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view view() const { return std::string_view(data_, size_); }
+
+  /// Three-way lexicographic compare treating bytes as unsigned.
+  /// Returns <0, 0, >0 like memcmp.
+  int compare(const Slice& b) const;
+
+  bool starts_with(const Slice& prefix) const {
+    return size_ >= prefix.size_ &&
+           memcmp(data_, prefix.data_, prefix.size_) == 0;
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() && memcmp(a.data(), b.data(), a.size()) == 0;
+}
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+inline bool operator<(const Slice& a, const Slice& b) {
+  return a.compare(b) < 0;
+}
+inline bool operator<=(const Slice& a, const Slice& b) {
+  return a.compare(b) <= 0;
+}
+inline bool operator>(const Slice& a, const Slice& b) {
+  return a.compare(b) > 0;
+}
+inline bool operator>=(const Slice& a, const Slice& b) {
+  return a.compare(b) >= 0;
+}
+
+}  // namespace pitree
+
+#endif  // PITREE_COMMON_SLICE_H_

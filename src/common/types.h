@@ -1,0 +1,28 @@
+#ifndef PITREE_COMMON_TYPES_H_
+#define PITREE_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace pitree {
+
+/// Page identifier within the single database file. Page 0 is the space-map
+/// anchor; page 1 the catalog. kInvalidPageId marks "no page".
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+/// Log sequence number: byte offset of a record in the WAL. LSN 0 means
+/// "no LSN" / "never logged".
+using Lsn = uint64_t;
+inline constexpr Lsn kInvalidLsn = 0;
+
+/// Transaction identifier. Atomic actions (system transactions) draw ids from
+/// the same space; a flag in the log distinguishes them.
+using TxnId = uint64_t;
+inline constexpr TxnId kInvalidTxnId = 0;
+
+/// Size of every page in the database file.
+inline constexpr size_t kPageSize = 8192;
+
+}  // namespace pitree
+
+#endif  // PITREE_COMMON_TYPES_H_

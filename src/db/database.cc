@@ -1,0 +1,260 @@
+#include "db/database.h"
+
+#include "common/coding.h"
+#include "engine/log_apply.h"
+#include "engine/page_alloc.h"
+#include "storage/space_map.h"
+
+namespace pitree {
+
+Status Database::Open(const Options& options, Env* env,
+                      const std::string& name, std::unique_ptr<Database>* db,
+                      RecoveryStats* stats) {
+  std::unique_ptr<Database> d(new Database());
+  PITREE_RETURN_IF_ERROR(d->Init(options, env, name, stats));
+  *db = std::move(d);
+  return Status::OK();
+}
+
+Status Database::Init(const Options& options, Env* env,
+                      const std::string& name, RecoveryStats* stats) {
+  ctx_.options = options;
+  ctx_.env = env;
+
+  PITREE_RETURN_IF_ERROR(disk_.Open(env, name + ".db"));
+  PITREE_RETURN_IF_ERROR(wal_.Open(env, name + ".wal"));
+  ctx_.wal = &wal_;
+
+  pool_ = std::make_unique<BufferPool>(
+      &disk_, options.buffer_pool_pages,
+      [this](Lsn lsn) { return wal_.Flush(lsn); });
+  ctx_.pool = pool_.get();
+
+  ctx_.locks = &locks_;
+  txns_ = std::make_unique<TxnManager>(&wal_, &locks_);
+  ctx_.txns = txns_.get();
+
+  recovery_ = std::make_unique<RecoveryManager>(&ctx_, name + ".master");
+  ctx_.recovery = recovery_.get();
+  txns_->set_rollback_handler(
+      [this](Transaction* txn) { return recovery_->RollbackTxn(txn); });
+  recovery_->set_logical_undo_handler(
+      [this](Transaction* txn, PageOp op, const Slice& payload,
+             Lsn undo_next) {
+        // The payload names the tree root; dispatch to that tree.
+        Slice peek = payload;
+        uint32_t root;
+        if (!GetFixed32(&peek, &root)) {
+          return Status::Corruption("logical undo payload root");
+        }
+        return TreeAt(root)->LogicalUndo(txn, op, payload, undo_next);
+      });
+
+  checkpoints_ = std::make_unique<CheckpointManager>(
+      env, &wal_, pool_.get(), txns_.get(), name + ".master");
+
+  ctx_.completions = &completions_;
+  completions_.set_executor([this](const CompletionJob& job) {
+    TreeAt(job.tree_root)->ExecuteJob(job).ok();
+  });
+
+  // Crash recovery (a no-op for a fresh database with an empty log).
+  PITREE_RETURN_IF_ERROR(recovery_->Run(stats));
+
+  // Bootstrap if the metadata pages are not yet formatted. This runs inside
+  // one atomic action, so a crash mid-bootstrap leaves nothing behind.
+  {
+    PageHandle h;
+    PITREE_RETURN_IF_ERROR(pool_->FetchPage(kSpaceMapPage, &h));
+    bool fresh = PageGetType(h.data()) != PageType::kSpaceMap;
+    h.Reset();
+    if (fresh) {
+      Transaction* action = txns_->Begin(/*is_system=*/true);
+      PageHandle sm;
+      PITREE_RETURN_IF_ERROR(pool_->FetchPageZeroed(kSpaceMapPage, &sm));
+      sm.latch().AcquireX();
+      PageInitHeader(sm.data(), kSpaceMapPage, PageType::kSpaceMap);
+      Status s = LogAndApply(&ctx_, action, sm, PageOp::kSmFormat,
+                             SmFormatPayload(), PageOp::kNone, "");
+      sm.latch().ReleaseX();
+      sm.Reset();
+      if (s.ok()) {
+        PageHandle cat;
+        s = pool_->FetchPageZeroed(kCatalogPage, &cat);
+        if (s.ok()) {
+          cat.latch().AcquireX();
+          PageInitHeader(cat.data(), kCatalogPage, PageType::kTreeNode);
+          s = LogAndApply(
+              &ctx_, action, cat, PageOp::kNodeFormat,
+              NodeRef::FormatPayload(0, kNodeFlagRoot,
+                                     kBoundLowNegInf | kBoundHighPosInf,
+                                     Slice(), Slice(), kInvalidPageId),
+              PageOp::kNone, "");
+          cat.latch().ReleaseX();
+        }
+      }
+      if (!s.ok()) {
+        txns_->Abort(action);
+        return s;
+      }
+      PITREE_RETURN_IF_ERROR(txns_->Commit(action));
+      PITREE_RETURN_IF_ERROR(wal_.FlushAll());
+    }
+  }
+
+  catalog_ = std::make_unique<PiTree>(&ctx_, kCatalogPage);
+  if (!options.inline_completion) {
+    completions_.StartBackground();
+  }
+  return Status::OK();
+}
+
+Database::~Database() {
+  completions_.StopBackground();
+  // Best-effort clean shutdown; recovery handles anything missed.
+  wal_.FlushAll().ok();
+}
+
+Transaction* Database::Begin() { return txns_->Begin(/*is_system=*/false); }
+
+Status Database::Commit(Transaction* txn) { return txns_->Commit(txn); }
+
+Status Database::Abort(Transaction* txn) { return txns_->Abort(txn); }
+
+PiTree* Database::TreeAt(PageId root) {
+  std::lock_guard<std::mutex> lk(trees_mu_);
+  auto it = trees_.find(root);
+  if (it == trees_.end()) {
+    it = trees_.emplace(root, std::make_unique<PiTree>(&ctx_, root)).first;
+  }
+  return it->second.get();
+}
+
+TsbTree* Database::TsbAt(PageId root) {
+  std::lock_guard<std::mutex> lk(trees_mu_);
+  auto it = tsb_trees_.find(root);
+  if (it == tsb_trees_.end()) {
+    it = tsb_trees_.emplace(root, std::make_unique<TsbTree>(&ctx_, root))
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+// Catalog values: fixed32 root page + one type byte.
+constexpr uint8_t kIndexTypePiTree = 0;
+constexpr uint8_t kIndexTypeTsb = 1;
+}  // namespace
+
+Status Database::LookupCatalog(const std::string& name, PageId* root,
+                               uint8_t* type) {
+  Transaction* txn = Begin();
+  std::string value;
+  Status s = catalog_->Get(txn, name, &value);
+  // Catalog reads take no lasting locks; end the lookup txn either way.
+  Commit(txn).ok();
+  if (!s.ok()) return s;
+  Slice in = value;
+  uint32_t r;
+  if (!GetFixed32(&in, &r) || in.size() != 1) {
+    return Status::Corruption("catalog entry");
+  }
+  *root = r;
+  *type = static_cast<uint8_t>(in[0]);
+  return Status::OK();
+}
+
+namespace {
+std::string EncodeCatalogValue(PageId root, uint8_t type) {
+  std::string value;
+  PutFixed32(&value, root);
+  value.push_back(static_cast<char>(type));
+  return value;
+}
+}  // namespace
+
+Status Database::CreateIndex(const std::string& name, PiTree** tree) {
+  Transaction* txn = Begin();
+  std::string existing;
+  Status s = catalog_->Get(txn, name, &existing);
+  if (s.ok()) {
+    Abort(txn).ok();
+    return Status::InvalidArgument("index already exists: " + name);
+  }
+  if (!s.IsNotFound()) {
+    Abort(txn).ok();
+    return s;
+  }
+  PageId root;
+  s = EngineAllocPage(&ctx_, txn, &root);
+  if (s.ok()) s = PiTree::Create(&ctx_, root);
+  if (s.ok()) {
+    s = catalog_->Insert(txn, name,
+                         EncodeCatalogValue(root, kIndexTypePiTree));
+  }
+  if (!s.ok()) {
+    Abort(txn).ok();
+    return s;
+  }
+  PITREE_RETURN_IF_ERROR(Commit(txn));
+  *tree = TreeAt(root);
+  return Status::OK();
+}
+
+Status Database::GetIndex(const std::string& name, PiTree** tree) {
+  PageId root;
+  uint8_t type;
+  PITREE_RETURN_IF_ERROR(LookupCatalog(name, &root, &type));
+  if (type != kIndexTypePiTree) {
+    return Status::InvalidArgument("not a Π-tree index: " + name);
+  }
+  *tree = TreeAt(root);
+  return Status::OK();
+}
+
+Status Database::CreateTsbIndex(const std::string& name, TsbTree** tree) {
+  Transaction* txn = Begin();
+  std::string existing;
+  Status s = catalog_->Get(txn, name, &existing);
+  if (s.ok()) {
+    Abort(txn).ok();
+    return Status::InvalidArgument("index already exists: " + name);
+  }
+  if (!s.IsNotFound()) {
+    Abort(txn).ok();
+    return s;
+  }
+  PageId root;
+  s = EngineAllocPage(&ctx_, txn, &root);
+  if (s.ok()) s = TsbTree::Create(&ctx_, root);
+  if (s.ok()) {
+    s = catalog_->Insert(txn, name, EncodeCatalogValue(root, kIndexTypeTsb));
+  }
+  if (!s.ok()) {
+    Abort(txn).ok();
+    return s;
+  }
+  PITREE_RETURN_IF_ERROR(Commit(txn));
+  *tree = TsbAt(root);
+  return Status::OK();
+}
+
+Status Database::GetTsbIndex(const std::string& name, TsbTree** tree) {
+  PageId root;
+  uint8_t type;
+  PITREE_RETURN_IF_ERROR(LookupCatalog(name, &root, &type));
+  if (type != kIndexTypeTsb) {
+    return Status::InvalidArgument("not a TSB-tree index: " + name);
+  }
+  *tree = TsbAt(root);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() { return checkpoints_->TakeCheckpoint(); }
+
+Status Database::FlushAll() {
+  PITREE_RETURN_IF_ERROR(wal_.FlushAll());
+  return pool_->FlushAll();
+}
+
+}  // namespace pitree

@@ -1,0 +1,96 @@
+#ifndef PITREE_DB_DATABASE_H_
+#define PITREE_DB_DATABASE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/options.h"
+#include "common/status.h"
+#include "engine/engine_context.h"
+#include "env/env.h"
+#include "pitree/pi_tree.h"
+#include "recovery/checkpoint.h"
+#include "recovery/recovery_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "tsb/tsb_tree.h"
+#include "txn/lock_manager.h"
+#include "txn/txn_manager.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+
+/// The embedding API: a small storage engine around the Π-tree.
+///
+/// Owns the WAL, buffer pool, lock/transaction managers, recovery, and a
+/// catalog (itself a Π-tree rooted at the catalog page) mapping index names
+/// to immortal root pages. Open() replays the log: after any crash the
+/// database comes back with every committed transaction's effects and every
+/// interrupted structure change either completed (its atomic actions that
+/// committed) or cleanly absent (the loser action undone); no index-specific
+/// recovery code exists (paper claim 4).
+class Database {
+ public:
+  /// Opens (creating if necessary) the database `name` within `env`.
+  /// `stats`, when non-null, receives the recovery pass counters.
+  static Status Open(const Options& options, Env* env,
+                     const std::string& name, std::unique_ptr<Database>* db,
+                     RecoveryStats* stats = nullptr);
+
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- transactions ---------------------------------------------------------
+  Transaction* Begin();
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  // -- indexes --------------------------------------------------------------
+  /// Creates a named B-link Π-tree index (InvalidArgument if it exists).
+  Status CreateIndex(const std::string& name, PiTree** tree);
+  /// Looks up an existing Π-tree index.
+  Status GetIndex(const std::string& name, PiTree** tree);
+
+  /// Creates / looks up a named TSB-tree (multiversion) index.
+  Status CreateTsbIndex(const std::string& name, TsbTree** tree);
+  Status GetTsbIndex(const std::string& name, TsbTree** tree);
+
+  // -- maintenance ----------------------------------------------------------
+  /// Takes a fuzzy checkpoint (ATT + DPT + master record).
+  Status Checkpoint();
+  /// Flushes WAL and all dirty pages (clean shutdown helper).
+  Status FlushAll();
+
+  EngineContext* context() { return &ctx_; }
+  CompletionQueue* completions() { return &completions_; }
+
+ private:
+  Database() = default;
+  Status Init(const Options& options, Env* env, const std::string& name,
+              RecoveryStats* stats);
+  PiTree* TreeAt(PageId root);
+  TsbTree* TsbAt(PageId root);
+  Status LookupCatalog(const std::string& name, PageId* root, uint8_t* type);
+
+  EngineContext ctx_;
+  DiskManager disk_;
+  WalManager wal_;
+  std::unique_ptr<BufferPool> pool_;
+  LockManager locks_;
+  std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<CheckpointManager> checkpoints_;
+  CompletionQueue completions_;
+  std::unique_ptr<PiTree> catalog_;
+
+  std::mutex trees_mu_;
+  std::unordered_map<PageId, std::unique_ptr<PiTree>> trees_;
+  std::unordered_map<PageId, std::unique_ptr<TsbTree>> tsb_trees_;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_DB_DATABASE_H_

@@ -1,0 +1,34 @@
+#ifndef PITREE_ENGINE_ENGINE_CONTEXT_H_
+#define PITREE_ENGINE_ENGINE_CONTEXT_H_
+
+#include "common/options.h"
+
+namespace pitree {
+
+// Forward declarations only: this header is included by every engine module,
+// and several of those modules are themselves members here.
+class Env;
+class WalManager;
+class BufferPool;
+class LockManager;
+class TxnManager;
+class RecoveryManager;
+class CompletionQueue;
+
+/// Non-owning bundle of the engine's managers, passed to every component
+/// that needs cross-module services. Database (db/database.h) owns the
+/// pieces and wires this up.
+struct EngineContext {
+  Env* env = nullptr;
+  WalManager* wal = nullptr;
+  BufferPool* pool = nullptr;
+  LockManager* locks = nullptr;
+  TxnManager* txns = nullptr;
+  RecoveryManager* recovery = nullptr;
+  CompletionQueue* completions = nullptr;
+  Options options;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_ENGINE_ENGINE_CONTEXT_H_

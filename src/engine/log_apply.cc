@@ -1,0 +1,49 @@
+#include "engine/log_apply.h"
+
+#include "engine/page_apply.h"
+#include "txn/txn_manager.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+
+Status LogAndApply(EngineContext* ctx, Transaction* txn, PageHandle& page,
+                   PageOp op, std::string redo, PageOp undo_op,
+                   std::string undo) {
+  PITREE_RETURN_IF_ERROR(ctx->txns->EnsureBegun(txn));
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn->id;
+  rec.prev_lsn = txn->last_lsn;
+  rec.page_id = page.id();
+  rec.op = op;
+  rec.redo = std::move(redo);
+  rec.undo_op = undo_op;
+  rec.undo = std::move(undo);
+  Lsn lsn;
+  PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn));
+  PITREE_RETURN_IF_ERROR(ApplyAnyRedo(op, rec.redo, page.data()));
+  page.MarkDirty(lsn);
+  txn->last_lsn = lsn;
+  return Status::OK();
+}
+
+Status LogAndApplyClr(EngineContext* ctx, Transaction* txn, PageHandle& page,
+                      PageOp op, std::string redo, Lsn undo_next) {
+  LogRecord rec;
+  rec.type = LogRecordType::kClr;
+  rec.txn_id = txn->id;
+  rec.prev_lsn = txn->last_lsn;
+  rec.page_id = page.id();
+  rec.op = op;
+  rec.redo = std::move(redo);
+  rec.undo_next = undo_next;
+  Lsn lsn;
+  PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn));
+  PITREE_RETURN_IF_ERROR(ApplyAnyRedo(op, rec.redo, page.data()));
+  page.MarkDirty(lsn);
+  txn->last_lsn = lsn;
+  txn->undo_next = undo_next;
+  return Status::OK();
+}
+
+}  // namespace pitree

@@ -1,0 +1,29 @@
+#ifndef PITREE_ENGINE_LOG_APPLY_H_
+#define PITREE_ENGINE_LOG_APPLY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/engine_context.h"
+#include "storage/buffer_pool.h"
+#include "txn/transaction.h"
+#include "wal/log_record.h"
+
+namespace pitree {
+
+/// Logs a kUpdate record for `txn` and applies its redo to the (X-latched,
+/// pinned) page. This is the single write path of the engine: WAL first,
+/// page second, page LSN stamped with the record's LSN so redo is
+/// idempotent and the LSN serves as the node's state identifier (§5.2).
+Status LogAndApply(EngineContext* ctx, Transaction* txn, PageHandle& page,
+                   PageOp op, std::string redo, PageOp undo_op,
+                   std::string undo);
+
+/// Logs a compensation record (redo-only) and applies it. Used by undo:
+/// `undo_next` points at the next record of `txn` still to be undone.
+Status LogAndApplyClr(EngineContext* ctx, Transaction* txn, PageHandle& page,
+                      PageOp op, std::string redo, Lsn undo_next);
+
+}  // namespace pitree
+
+#endif  // PITREE_ENGINE_LOG_APPLY_H_

@@ -1,0 +1,35 @@
+#include "engine/page_alloc.h"
+
+#include "engine/log_apply.h"
+#include "storage/space_map.h"
+
+namespace pitree {
+
+Status EngineAllocPage(EngineContext* ctx, Transaction* txn, PageId* out) {
+  PageHandle sm;
+  PITREE_RETURN_IF_ERROR(ctx->pool->FetchPage(kSpaceMapPage, &sm));
+  sm.latch().AcquireX();
+  PageId pid = SmFindFree(sm.data(), kFirstAllocatablePage);
+  Status s;
+  if (pid == kInvalidPageId) {
+    s = Status::NoSpace("database full");
+  } else {
+    s = LogAndApply(ctx, txn, sm, PageOp::kSmSet, SmBitPayload(pid),
+                    PageOp::kSmClear, SmBitPayload(pid));
+  }
+  sm.latch().ReleaseX();
+  if (s.ok()) *out = pid;
+  return s;
+}
+
+Status EngineFreePage(EngineContext* ctx, Transaction* txn, PageId page) {
+  PageHandle sm;
+  PITREE_RETURN_IF_ERROR(ctx->pool->FetchPage(kSpaceMapPage, &sm));
+  sm.latch().AcquireX();
+  Status s = LogAndApply(ctx, txn, sm, PageOp::kSmClear, SmBitPayload(page),
+                         PageOp::kSmSet, SmBitPayload(page));
+  sm.latch().ReleaseX();
+  return s;
+}
+
+}  // namespace pitree

@@ -1,0 +1,21 @@
+#ifndef PITREE_ENGINE_PAGE_ALLOC_H_
+#define PITREE_ENGINE_PAGE_ALLOC_H_
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/engine_context.h"
+#include "txn/transaction.h"
+
+namespace pitree {
+
+/// Allocates a free page, logging the space-map bit flip under `txn` so the
+/// allocation is undone if `txn` (a transaction or atomic action) rolls
+/// back. Latches the space-map page last, per the §4.1.1 resource order.
+Status EngineAllocPage(EngineContext* ctx, Transaction* txn, PageId* out);
+
+/// Frees a page (logged, undoable).
+Status EngineFreePage(EngineContext* ctx, Transaction* txn, PageId page);
+
+}  // namespace pitree
+
+#endif  // PITREE_ENGINE_PAGE_ALLOC_H_

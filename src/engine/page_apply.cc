@@ -1,0 +1,19 @@
+#include "engine/page_apply.h"
+
+#include "pitree/node_page.h"
+#include "storage/space_map.h"
+
+namespace pitree {
+
+Status ApplyAnyRedo(PageOp op, const Slice& payload, char* page) {
+  uint8_t code = static_cast<uint8_t>(op);
+  if (code >= 1 && code <= 15) {
+    return ApplyNodeRedo(op, payload, page);
+  }
+  if (code >= 16 && code <= 23) {
+    return ApplySpaceMapRedo(op, payload, page);
+  }
+  return Status::Corruption("unknown page op in redo");
+}
+
+}  // namespace pitree

@@ -1,0 +1,18 @@
+#ifndef PITREE_ENGINE_PAGE_APPLY_H_
+#define PITREE_ENGINE_PAGE_APPLY_H_
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "wal/log_record.h"
+
+namespace pitree {
+
+/// Dispatches a redo payload to the module owning the op code. This single
+/// entry point is what makes every log record replayable: normal operation,
+/// crash redo, and undo (which applies inverse ops through the same path)
+/// all funnel through here.
+Status ApplyAnyRedo(PageOp op, const Slice& payload, char* page);
+
+}  // namespace pitree
+
+#endif  // PITREE_ENGINE_PAGE_APPLY_H_

@@ -1,0 +1,8 @@
+#include "env/env.h"
+
+namespace pitree {
+
+// Env and File are pure interfaces; their out-of-line destructors and any
+// shared helpers live here so the vtables have a home translation unit.
+
+}  // namespace pitree

@@ -1,0 +1,65 @@
+#ifndef PITREE_ENV_ENV_H_
+#define PITREE_ENV_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace pitree {
+
+/// Random-access file handle. Writes are buffered by the underlying medium
+/// until Sync(); a crash may lose any unsynced byte (SimEnv models this
+/// precisely, PosixEnv inherits whatever the OS does).
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads up to `n` bytes at `offset` into `scratch`; sets `*result` to the
+  /// bytes actually read (may be shorter at EOF).
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+
+  /// Writes `data` at `offset`, extending the file if necessary.
+  virtual Status Write(uint64_t offset, const Slice& data) = 0;
+
+  /// Makes all prior writes durable.
+  virtual Status Sync() = 0;
+
+  /// Current file size in bytes (including unsynced extension).
+  virtual uint64_t Size() const = 0;
+
+  /// Truncates the file to `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+/// Filesystem abstraction so the whole engine can run against real disks
+/// (PosixEnv) or an in-memory crash simulator (SimEnv).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens (creating if absent) a random-access read/write file.
+  virtual Status OpenFile(const std::string& name,
+                          std::unique_ptr<File>* file) = 0;
+
+  virtual bool FileExists(const std::string& name) const = 0;
+  virtual Status DeleteFile(const std::string& name) = 0;
+
+  /// Atomically replaces the contents of `name` with `data` (used for the
+  /// checkpoint master record).
+  virtual Status WriteFileAtomic(const std::string& name,
+                                 const Slice& data) = 0;
+  virtual Status ReadFileToString(const std::string& name,
+                                  std::string* data) = 0;
+};
+
+/// Returns the process-wide POSIX environment.
+Env* GetPosixEnv();
+
+}  // namespace pitree
+
+#endif  // PITREE_ENV_ENV_H_

@@ -1,0 +1,129 @@
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "env/env.h"
+
+namespace pitree {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + strerror(err));
+}
+
+class PosixFile : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    ssize_t r = pread(fd_, scratch, n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError("pread", errno);
+    *result = Slice(scratch, static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t w = pwrite(fd_, p, left, static_cast<off_t>(offset));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pwrite", errno);
+      }
+      p += w;
+      offset += static_cast<uint64_t>(w);
+      left -= static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fdatasync(fd_) != 0) return PosixError("fdatasync", errno);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    struct stat st;
+    if (fstat(fd_, &st) != 0) return 0;
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return PosixError("ftruncate", errno);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status OpenFile(const std::string& name,
+                  std::unique_ptr<File>* file) override {
+    int fd = open(name.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return PosixError("open " + name, errno);
+    file->reset(new PosixFile(fd));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& name) const override {
+    return access(name.c_str(), F_OK) == 0;
+  }
+
+  Status DeleteFile(const std::string& name) override {
+    if (unlink(name.c_str()) != 0 && errno != ENOENT) {
+      return PosixError("unlink " + name, errno);
+    }
+    return Status::OK();
+  }
+
+  Status WriteFileAtomic(const std::string& name, const Slice& data) override {
+    std::string tmp = name + ".tmp";
+    {
+      int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd < 0) return PosixError("open " + tmp, errno);
+      PosixFile f(fd);
+      Status s = f.Write(0, data);
+      if (s.ok()) s = f.Sync();
+      if (!s.ok()) return s;
+    }
+    if (rename(tmp.c_str(), name.c_str()) != 0) {
+      return PosixError("rename " + tmp, errno);
+    }
+    return Status::OK();
+  }
+
+  Status ReadFileToString(const std::string& name, std::string* data) override {
+    std::unique_ptr<File> f;
+    PITREE_RETURN_IF_ERROR(OpenFile(name, &f));
+    uint64_t size = f->Size();
+    data->resize(size);
+    Slice result;
+    PITREE_RETURN_IF_ERROR(f->Read(0, size, &result, data->data()));
+    data->resize(result.size());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Env* GetPosixEnv() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+}  // namespace pitree

@@ -1,0 +1,149 @@
+#include "env/sim_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pitree {
+
+namespace {
+
+class SimFile : public File {
+ public:
+  SimFile(SimEnv* env, std::shared_ptr<SimEnv::FileState> state,
+          std::mutex* mu, uint64_t* sync_count)
+      : state_(std::move(state)), mu_(mu), sync_count_(sync_count) {
+    (void)env;
+  }
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    std::lock_guard<std::mutex> guard(*mu_);
+    const std::string& img = state_->volatile_;
+    if (offset >= img.size()) {
+      *result = Slice(scratch, 0);
+      return Status::OK();
+    }
+    size_t avail = std::min<uint64_t>(n, img.size() - offset);
+    memcpy(scratch, img.data() + offset, avail);
+    *result = Slice(scratch, avail);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    std::lock_guard<std::mutex> guard(*mu_);
+    std::string& img = state_->volatile_;
+    if (offset + data.size() > img.size()) {
+      img.resize(offset + data.size(), '\0');
+    }
+    memcpy(img.data() + offset, data.data(), data.size());
+    if (state_->dirty_lo == state_->dirty_hi) {
+      state_->dirty_lo = offset;
+      state_->dirty_hi = offset + data.size();
+    } else {
+      state_->dirty_lo = std::min<size_t>(state_->dirty_lo, offset);
+      state_->dirty_hi =
+          std::max<size_t>(state_->dirty_hi, offset + data.size());
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    std::lock_guard<std::mutex> guard(*mu_);
+    SimEnv::FileState& st = *state_;
+    if (st.durable.size() != st.volatile_.size()) {
+      st.durable.resize(st.volatile_.size(), '\0');
+    }
+    if (st.dirty_hi > st.dirty_lo) {
+      size_t hi = std::min(st.dirty_hi, st.volatile_.size());
+      if (hi > st.dirty_lo) {
+        memcpy(st.durable.data() + st.dirty_lo,
+               st.volatile_.data() + st.dirty_lo, hi - st.dirty_lo);
+      }
+      st.dirty_lo = st.dirty_hi = 0;
+    }
+    ++*sync_count_;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override {
+    std::lock_guard<std::mutex> guard(*mu_);
+    return state_->volatile_.size();
+  }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> guard(*mu_);
+    state_->volatile_.resize(size, '\0');
+    // A truncation invalidates incremental sync bookkeeping (durable bytes
+    // past the cut, re-zeroed middles): mark everything dirty. Truncation
+    // is rare (log open), so the full copy at the next sync is fine.
+    state_->dirty_lo = 0;
+    state_->dirty_hi = state_->volatile_.size();
+    if (state_->durable.size() > size) state_->durable.resize(size);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<SimEnv::FileState> state_;
+  std::mutex* mu_;
+  uint64_t* sync_count_;
+};
+
+}  // namespace
+
+Status SimEnv::OpenFile(const std::string& name,
+                        std::unique_ptr<File>* file) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    it = files_.emplace(name, std::make_shared<FileState>()).first;
+  }
+  file->reset(new SimFile(this, it->second, &mu_, &sync_count_));
+  return Status::OK();
+}
+
+bool SimEnv::FileExists(const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return files_.count(name) > 0;
+}
+
+Status SimEnv::DeleteFile(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  files_.erase(name);
+  return Status::OK();
+}
+
+Status SimEnv::WriteFileAtomic(const std::string& name, const Slice& data) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto& state = files_[name];
+  if (!state) state = std::make_shared<FileState>();
+  // Atomic replace is durable by definition (models write-temp + fsync +
+  // rename on a real filesystem).
+  state->volatile_.assign(data.data(), data.size());
+  state->durable = state->volatile_;
+  state->dirty_lo = state->dirty_hi = 0;
+  ++sync_count_;
+  return Status::OK();
+}
+
+Status SimEnv::ReadFileToString(const std::string& name, std::string* data) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound(name);
+  *data = it->second->volatile_;
+  return Status::OK();
+}
+
+void SimEnv::Crash() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& [name, state] : files_) {
+    state->volatile_ = state->durable;
+    state->dirty_lo = state->dirty_hi = 0;
+  }
+}
+
+uint64_t SimEnv::sync_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return sync_count_;
+}
+
+}  // namespace pitree

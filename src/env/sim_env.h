@@ -1,0 +1,65 @@
+#ifndef PITREE_ENV_SIM_ENV_H_
+#define PITREE_ENV_SIM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "env/env.h"
+
+namespace pitree {
+
+/// In-memory environment that models volatile vs. durable storage.
+///
+/// Every file keeps two byte images: `durable` (what has been Sync()ed) and
+/// `volatile_` (durable plus unsynced writes). Crash() discards the volatile
+/// image of every file, exactly like a power failure that loses the OS page
+/// cache. This is the substrate for the crash-injection tests and for
+/// experiment E3: after Crash(), reopening the database runs real recovery
+/// against exactly the bytes a real crash would have left behind.
+///
+/// Files survive Crash() (it models power loss, not media failure) and
+/// SimEnv outlives the File handles it hands out.
+class SimEnv : public Env {
+ public:
+  SimEnv() = default;
+  ~SimEnv() override = default;
+
+  SimEnv(const SimEnv&) = delete;
+  SimEnv& operator=(const SimEnv&) = delete;
+
+  Status OpenFile(const std::string& name,
+                  std::unique_ptr<File>* file) override;
+  bool FileExists(const std::string& name) const override;
+  Status DeleteFile(const std::string& name) override;
+  Status WriteFileAtomic(const std::string& name, const Slice& data) override;
+  Status ReadFileToString(const std::string& name, std::string* data) override;
+
+  /// Simulates a power failure: every byte not covered by a Sync() vanishes.
+  void Crash();
+
+  /// Total bytes synced since construction (benchmark instrumentation).
+  uint64_t sync_count() const;
+
+  /// Internal per-file state; public so the File implementation (an
+  /// implementation-detail class in the .cc) can reference it.
+  /// The dirty range makes Sync() O(bytes written since the last sync)
+  /// instead of O(file size) — group-commit benchmarks sync constantly.
+  struct FileState {
+    std::string durable;
+    std::string volatile_;
+    size_t dirty_lo = 0;  // [dirty_lo, dirty_hi) differs from durable
+    size_t dirty_hi = 0;
+  };
+
+ private:
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+  uint64_t sync_count_ = 0;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_ENV_SIM_ENV_H_

@@ -1,0 +1,74 @@
+#include "pitree/completion.h"
+
+namespace pitree {
+
+void CompletionQueue::Enqueue(CompletionJob job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  enqueued_.fetch_add(1);
+  cv_.notify_one();
+}
+
+void CompletionQueue::Drain() {
+  for (;;) {
+    CompletionJob job;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (executor_) executor_(job);
+    executed_.fetch_add(1);
+  }
+}
+
+std::vector<CompletionJob> CompletionQueue::TakeAll() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<CompletionJob> out(std::make_move_iterator(queue_.begin()),
+                                 std::make_move_iterator(queue_.end()));
+  queue_.clear();
+  return out;
+}
+
+void CompletionQueue::StartBackground() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (worker_running_) return;
+  stop_ = false;
+  worker_running_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void CompletionQueue::StopBackground() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!worker_running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    worker_running_ = false;
+  }
+}
+
+void CompletionQueue::WorkerLoop() {
+  for (;;) {
+    CompletionJob job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      if (queue_.empty()) continue;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    if (executor_) executor_(job);
+    executed_.fetch_add(1);
+  }
+}
+
+}  // namespace pitree

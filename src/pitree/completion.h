@@ -1,0 +1,81 @@
+#ifndef PITREE_PITREE_COMPLETION_H_
+#define PITREE_PITREE_COMPLETION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+#include "pitree/path.h"
+
+namespace pitree {
+
+/// A completing atomic action scheduled during normal processing (§5.1):
+/// either the posting of an index term for a node reached via a side
+/// pointer, or the consolidation of an under-utilized node. Jobs are hints:
+/// executing one re-tests the tree state and terminates harmlessly when the
+/// work was already done or is no longer needed (idempotence, §5.1).
+struct CompletionJob {
+  enum class Kind : uint8_t { kPostIndexTerm, kConsolidate };
+  Kind kind = Kind::kPostIndexTerm;
+  PageId tree_root = kInvalidPageId;
+  uint8_t level = 0;       // level where the index term is to be posted, or
+                           // the parent level for a consolidation
+  PageId address = kInvalidPageId;  // new sibling node / under-utilized node
+  std::string key;         // the search key that exposed the work
+  SavedPath path;          // remembered path (verified before trust, §5.2)
+};
+
+/// Queue of completing atomic actions with an optional background worker.
+/// In inline mode (Options::inline_completion) trees execute their own
+/// pending jobs at the end of each operation and this queue is bypassed.
+class CompletionQueue {
+ public:
+  using Executor = std::function<void(const CompletionJob&)>;
+
+  CompletionQueue() = default;
+  ~CompletionQueue() { StopBackground(); }
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  void set_executor(Executor fn) { executor_ = std::move(fn); }
+
+  void Enqueue(CompletionJob job);
+
+  /// Runs queued jobs on the calling thread until the queue is empty.
+  void Drain();
+
+  /// Removes and returns every queued job without executing it (benchmarks
+  /// use this to replay completions under controlled conditions).
+  std::vector<CompletionJob> TakeAll();
+
+  /// Starts/stops a background worker thread that drains continuously.
+  void StartBackground();
+  void StopBackground();
+
+  uint64_t enqueued_count() const { return enqueued_.load(); }
+  uint64_t executed_count() const { return executed_.load(); }
+
+ private:
+  void WorkerLoop();
+
+  Executor executor_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<CompletionJob> queue_;
+  std::thread worker_;
+  bool stop_ = false;
+  bool worker_running_ = false;
+  std::atomic<uint64_t> enqueued_{0};
+  std::atomic<uint64_t> executed_{0};
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_PITREE_COMPLETION_H_

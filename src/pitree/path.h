@@ -1,0 +1,40 @@
+#ifndef PITREE_PITREE_PATH_H_
+#define PITREE_PITREE_PATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pitree {
+
+/// One remembered node on a root-to-leaf traversal: page id plus the state
+/// identifier (page LSN, §5.2) observed while the node was latched.
+struct PathEntry {
+  PageId page = kInvalidPageId;
+  Lsn state_id = kInvalidLsn;
+  uint8_t level = 0;
+};
+
+/// Saved root-to-target path, top-down (entry 0 is the root). Atomic actions
+/// use it to relocate nodes without a full search, after verifying state
+/// identifiers (§5.2: saved information must be verified before use).
+struct SavedPath {
+  std::vector<PathEntry> nodes;
+
+  void Clear() { nodes.clear(); }
+  void Push(PageId page, Lsn state_id, uint8_t level) {
+    nodes.push_back({page, state_id, level});
+  }
+  /// Deepest remembered entry at `level`, or nullptr.
+  const PathEntry* AtLevel(uint8_t level) const {
+    for (const auto& e : nodes) {
+      if (e.level == level) return &e;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_PITREE_PATH_H_

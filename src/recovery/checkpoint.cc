@@ -1,0 +1,91 @@
+#include "recovery/checkpoint.h"
+
+#include "common/coding.h"
+#include "wal/log_record.h"
+
+namespace pitree {
+
+std::string EncodeCheckpoint(const CheckpointData& data) {
+  std::string out;
+  PutVarint32(&out, static_cast<uint32_t>(data.att.size()));
+  for (const auto& e : data.att) {
+    PutVarint64(&out, e.txn_id);
+    out.push_back(e.is_system ? 1 : 0);
+    PutVarint64(&out, e.last_lsn);
+    PutVarint64(&out, e.undo_next);
+    out.push_back(e.aborting ? 1 : 0);
+  }
+  PutVarint32(&out, static_cast<uint32_t>(data.dpt.size()));
+  for (const auto& [page, rec_lsn] : data.dpt) {
+    PutFixed32(&out, page);
+    PutVarint64(&out, rec_lsn);
+  }
+  return out;
+}
+
+Status DecodeCheckpoint(Slice in, CheckpointData* data) {
+  data->att.clear();
+  data->dpt.clear();
+  uint32_t n;
+  if (!GetVarint32(&in, &n)) return Status::Corruption("ckpt att count");
+  for (uint32_t i = 0; i < n; ++i) {
+    AttEntry e;
+    uint64_t v;
+    if (!GetVarint64(&in, &v)) return Status::Corruption("ckpt att txn");
+    e.txn_id = v;
+    if (in.empty()) return Status::Corruption("ckpt att flags");
+    e.is_system = in[0] != 0;
+    in.remove_prefix(1);
+    if (!GetVarint64(&in, &e.last_lsn)) return Status::Corruption("ckpt lsn");
+    if (!GetVarint64(&in, &e.undo_next)) {
+      return Status::Corruption("ckpt undo next");
+    }
+    if (in.empty()) return Status::Corruption("ckpt aborting");
+    e.aborting = in[0] != 0;
+    in.remove_prefix(1);
+    data->att.push_back(e);
+  }
+  if (!GetVarint32(&in, &n)) return Status::Corruption("ckpt dpt count");
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t page;
+    uint64_t rec_lsn;
+    if (!GetFixed32(&in, &page) || !GetVarint64(&in, &rec_lsn)) {
+      return Status::Corruption("ckpt dpt entry");
+    }
+    data->dpt.emplace_back(page, rec_lsn);
+  }
+  return Status::OK();
+}
+
+Status CheckpointManager::TakeCheckpoint() {
+  LogRecord begin;
+  begin.type = LogRecordType::kCheckpointBegin;
+  Lsn begin_lsn;
+  PITREE_RETURN_IF_ERROR(wal_->Append(begin, &begin_lsn));
+
+  CheckpointData data;
+  data.att = txns_->SnapshotAtt();
+  data.dpt = pool_->DirtyPageTable();
+
+  LogRecord end;
+  end.type = LogRecordType::kCheckpointEnd;
+  end.misc = EncodeCheckpoint(data);
+  Lsn end_lsn;
+  PITREE_RETURN_IF_ERROR(wal_->Append(end, &end_lsn));
+  PITREE_RETURN_IF_ERROR(wal_->Flush(end_lsn));
+
+  std::string master;
+  PutFixed64(&master, begin_lsn);
+  return env_->WriteFileAtomic(master_path_, master);
+}
+
+Status CheckpointManager::ReadMaster(Lsn* checkpoint_begin) const {
+  std::string data;
+  Status s = env_->ReadFileToString(master_path_, &data);
+  if (!s.ok()) return s;
+  if (data.size() < 8) return Status::Corruption("master record size");
+  *checkpoint_begin = DecodeFixed64(data.data());
+  return Status::OK();
+}
+
+}  // namespace pitree

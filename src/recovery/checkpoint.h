@@ -1,0 +1,57 @@
+#ifndef PITREE_RECOVERY_CHECKPOINT_H_
+#define PITREE_RECOVERY_CHECKPOINT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "env/env.h"
+#include "storage/buffer_pool.h"
+#include "txn/txn_manager.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+
+/// Payload of a kCheckpointEnd record: the active-transaction table and
+/// dirty-page table at checkpoint time.
+struct CheckpointData {
+  std::vector<AttEntry> att;
+  std::vector<std::pair<PageId, Lsn>> dpt;
+};
+
+std::string EncodeCheckpoint(const CheckpointData& data);
+Status DecodeCheckpoint(Slice in, CheckpointData* data);
+
+/// Fuzzy checkpointing (§4.3 infrastructure): no quiescing — the ATT/DPT
+/// snapshot plus the log suffix from the checkpoint reconstruct state.
+/// The *master record* (a tiny separate file, atomically replaced) points
+/// at the most recent kCheckpointBegin so analysis knows where to start.
+class CheckpointManager {
+ public:
+  CheckpointManager(Env* env, WalManager* wal, BufferPool* pool,
+                    TxnManager* txns, std::string master_path)
+      : env_(env),
+        wal_(wal),
+        pool_(pool),
+        txns_(txns),
+        master_path_(std::move(master_path)) {}
+
+  /// Appends begin/end checkpoint records, forces them, updates the master.
+  Status TakeCheckpoint();
+
+  /// Reads the master record. NotFound if no checkpoint was ever taken.
+  Status ReadMaster(Lsn* checkpoint_begin) const;
+
+ private:
+  Env* const env_;
+  WalManager* const wal_;
+  BufferPool* const pool_;
+  TxnManager* const txns_;
+  const std::string master_path_;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_RECOVERY_CHECKPOINT_H_

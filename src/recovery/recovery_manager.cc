@@ -1,0 +1,276 @@
+#include "recovery/recovery_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/log_apply.h"
+#include "engine/page_apply.h"
+#include "env/env.h"
+#include "txn/txn_manager.h"
+#include "wal/log_reader.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+
+namespace {
+
+struct AnalyzedTxn {
+  bool is_system = false;
+  Lsn last_lsn = kInvalidLsn;
+  Lsn undo_next = kInvalidLsn;
+  bool aborting = false;
+};
+
+}  // namespace
+
+Status RecoveryManager::Run(RecoveryStats* stats) {
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+
+  // ---- Analysis -----------------------------------------------------------
+  Lsn scan_start = 0;
+  {
+    CheckpointManager ckpt(ctx_->env, ctx_->wal, ctx_->pool, ctx_->txns,
+                           master_path_);
+    Lsn begin;
+    if (ckpt.ReadMaster(&begin).ok()) scan_start = begin;
+  }
+
+  std::unordered_map<TxnId, AnalyzedTxn> att;
+  std::unordered_map<PageId, Lsn> dpt;
+  TxnId max_txn = 0;
+
+  {
+    LogRecord rec;
+    Lsn cursor = scan_start;
+    while (ctx_->wal->ReadRecord(cursor, &rec).ok()) {
+      ++stats->records_analyzed;
+      max_txn = std::max(max_txn, rec.txn_id);
+      switch (rec.type) {
+        case LogRecordType::kCheckpointEnd: {
+          CheckpointData data;
+          PITREE_RETURN_IF_ERROR(DecodeCheckpoint(rec.misc, &data));
+          for (const auto& e : data.att) {
+            auto [it, inserted] = att.try_emplace(e.txn_id);
+            if (inserted) {
+              it->second = {e.is_system, e.last_lsn, e.undo_next, e.aborting};
+            }
+            max_txn = std::max(max_txn, e.txn_id);
+          }
+          for (const auto& [page, rec_lsn] : data.dpt) {
+            dpt.try_emplace(page, rec_lsn);
+          }
+          break;
+        }
+        case LogRecordType::kBegin: {
+          AnalyzedTxn t;
+          t.is_system =
+              !rec.misc.empty() && (rec.misc[0] & kBeginFlagSystem);
+          t.last_lsn = rec.lsn;
+          att[rec.txn_id] = t;
+          break;
+        }
+        case LogRecordType::kUpdate: {
+          auto& t = att[rec.txn_id];
+          t.last_lsn = rec.lsn;
+          t.undo_next = rec.lsn;
+          dpt.try_emplace(rec.page_id, rec.lsn);
+          break;
+        }
+        case LogRecordType::kClr: {
+          auto& t = att[rec.txn_id];
+          t.last_lsn = rec.lsn;
+          t.undo_next = rec.undo_next;
+          dpt.try_emplace(rec.page_id, rec.lsn);
+          break;
+        }
+        case LogRecordType::kCommit:
+          att.erase(rec.txn_id);
+          break;
+        case LogRecordType::kAbort:
+          att[rec.txn_id].aborting = true;
+          break;
+        case LogRecordType::kEnd:
+          att.erase(rec.txn_id);
+          break;
+        case LogRecordType::kCheckpointBegin:
+          break;
+      }
+      cursor = rec.next_lsn;
+    }
+  }
+
+  // ---- Redo (repeating history) ------------------------------------------
+  if (!dpt.empty()) {
+    Lsn redo_start = kInvalidLsn;
+    bool first = true;
+    for (const auto& [page, rec_lsn] : dpt) {
+      if (first || rec_lsn < redo_start) redo_start = rec_lsn;
+      first = false;
+    }
+    LogRecord rec;
+    Lsn cursor = redo_start;
+    while (ctx_->wal->ReadRecord(cursor, &rec).ok()) {
+      if (rec.type == LogRecordType::kUpdate ||
+          rec.type == LogRecordType::kClr) {
+        auto it = dpt.find(rec.page_id);
+        if (it != dpt.end() && rec.lsn >= it->second) {
+          PageHandle page;
+          PITREE_RETURN_IF_ERROR(
+              ctx_->pool->FetchPage(rec.page_id, &page));
+          if (PageGetLsn(page.data()) < rec.lsn) {
+            // First touch of a formerly-blank page: stamp identity so
+            // appliers relying on the header see a coherent page.
+            if (PageGetId(page.data()) != rec.page_id) {
+              PageSetId(page.data(), rec.page_id);
+            }
+            PITREE_RETURN_IF_ERROR(
+                ApplyAnyRedo(rec.op, rec.redo, page.data()));
+            page.MarkDirty(rec.lsn);
+            ++stats->records_redone;
+          }
+        }
+      }
+      cursor = rec.next_lsn;
+    }
+  }
+
+  // ---- Undo (losers, in global reverse-LSN order) -------------------------
+  ctx_->txns->AdvanceTxnIdFloor(max_txn);
+  struct Loser {
+    Transaction* txn;
+    Lsn next;
+  };
+  auto cmp = [](const Loser& a, const Loser& b) { return a.next < b.next; };
+  std::priority_queue<Loser, std::vector<Loser>, decltype(cmp)> todo(cmp);
+
+  for (const auto& [id, t] : att) {
+    if (t.is_system) {
+      ++stats->loser_atomic_actions;
+    } else {
+      ++stats->loser_user_txns;
+    }
+    Transaction* txn =
+        ctx_->txns->AdoptLoser(id, t.is_system, t.last_lsn, t.undo_next);
+    Lsn next = t.undo_next != kInvalidLsn ? t.undo_next : t.last_lsn;
+    todo.push({txn, next});
+  }
+
+  while (!todo.empty()) {
+    Loser loser = todo.top();
+    todo.pop();
+    LogRecord rec;
+    PITREE_RETURN_IF_ERROR(ctx_->wal->ReadRecord(loser.next, &rec));
+    Lsn next = kInvalidLsn;
+    switch (rec.type) {
+      case LogRecordType::kUpdate:
+        PITREE_RETURN_IF_ERROR(
+            UndoOneRecord(loser.txn, rec, nullptr, &next, stats));
+        break;
+      case LogRecordType::kClr:
+        next = rec.undo_next;
+        break;
+      case LogRecordType::kAbort:
+        next = rec.prev_lsn;
+        break;
+      case LogRecordType::kBegin:
+        next = kInvalidLsn;
+        break;
+      default:
+        return Status::Corruption("unexpected record type in undo chain");
+    }
+    if (next == kInvalidLsn) {
+      Lsn end_lsn;
+      PITREE_RETURN_IF_ERROR(ctx_->wal->Append(
+          MakeEnd(loser.txn->id, loser.txn->last_lsn), &end_lsn));
+      ctx_->txns->Discard(loser.txn);
+    } else {
+      loser.next = next;
+      todo.push(loser);
+    }
+  }
+
+  // Make the recovered state durable enough that a second crash replays a
+  // shorter log; not strictly required for correctness.
+  PITREE_RETURN_IF_ERROR(ctx_->wal->FlushAll());
+  return Status::OK();
+}
+
+Status RecoveryManager::RollbackTxn(Transaction* txn) {
+  return RollbackTxnWithPages(txn, {});
+}
+
+Status RecoveryManager::RollbackTxnWithPages(
+    Transaction* txn, const std::map<PageId, PageHandle*>& latched,
+    Lsn until_lsn) {
+  Lsn cursor =
+      txn->undo_next != kInvalidLsn ? txn->undo_next : txn->last_lsn;
+  while (cursor != kInvalidLsn && cursor > until_lsn) {
+    LogRecord rec;
+    PITREE_RETURN_IF_ERROR(ctx_->wal->ReadRecord(cursor, &rec));
+    switch (rec.type) {
+      case LogRecordType::kUpdate: {
+        Lsn next;
+        PITREE_RETURN_IF_ERROR(
+            UndoOneRecord(txn, rec, &latched, &next, nullptr));
+        cursor = next;
+        break;
+      }
+      case LogRecordType::kClr:
+        cursor = rec.undo_next;
+        break;
+      case LogRecordType::kAbort:
+        cursor = rec.prev_lsn;
+        break;
+      case LogRecordType::kBegin:
+        cursor = kInvalidLsn;
+        break;
+      default:
+        return Status::Corruption("unexpected record in rollback chain");
+    }
+  }
+  // The chain below (if any) is live again; future rollbacks restart from
+  // the transaction's newest record.
+  txn->undo_next = kInvalidLsn;
+  return Status::OK();
+}
+
+Status RecoveryManager::UndoOneRecord(
+    Transaction* txn, const LogRecord& rec,
+    const std::map<PageId, PageHandle*>* latched, Lsn* next,
+    RecoveryStats* stats) {
+  *next = rec.prev_lsn;
+  if (rec.undo_op == PageOp::kNone) {
+    // Redo-only record (e.g. posting that needs no undo) — nothing to do.
+    return Status::OK();
+  }
+  if (stats != nullptr) ++stats->records_undone;
+  if (IsLogicalUndoOp(rec.undo_op)) {
+    if (!logical_undo_) {
+      return Status::NotSupported("no logical undo handler installed");
+    }
+    return logical_undo_(txn, rec.undo_op, rec.undo, rec.prev_lsn);
+  }
+  PageHandle* page = nullptr;
+  PageHandle local;
+  bool we_latched = false;
+  if (latched != nullptr) {
+    auto it = latched->find(rec.page_id);
+    if (it != latched->end()) page = it->second;
+  }
+  if (page == nullptr) {
+    PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(rec.page_id, &local));
+    local.latch().AcquireX();
+    we_latched = true;
+    page = &local;
+  }
+  Status s = LogAndApplyClr(ctx_, txn, *page, rec.undo_op, rec.undo,
+                            rec.prev_lsn);
+  if (we_latched) local.latch().ReleaseX();
+  return s;
+}
+
+}  // namespace pitree

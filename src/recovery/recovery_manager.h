@@ -1,0 +1,84 @@
+#ifndef PITREE_RECOVERY_RECOVERY_MANAGER_H_
+#define PITREE_RECOVERY_RECOVERY_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/engine_context.h"
+#include "recovery/checkpoint.h"
+#include "storage/buffer_pool.h"
+#include "txn/transaction.h"
+#include "wal/log_record.h"
+
+namespace pitree {
+
+/// Counters reported by a recovery pass (experiment E3 reads these).
+struct RecoveryStats {
+  uint64_t records_analyzed = 0;
+  uint64_t records_redone = 0;
+  uint64_t records_undone = 0;
+  uint64_t loser_user_txns = 0;
+  uint64_t loser_atomic_actions = 0;
+};
+
+/// ARIES-style recovery: analysis, redo (repeating history), undo with
+/// compensation log records.
+///
+/// The paper's claim 4 lives here by *omission*: there is no Π-tree-specific
+/// code in this class. An interrupted structure change simply leaves some
+/// atomic actions committed and at most one a loser; the loser is rolled
+/// back like any transaction, the tree is then well-formed, and the missing
+/// index term is posted later by whichever traversal crosses the side
+/// pointer (completion, §5.1).
+class RecoveryManager {
+ public:
+  RecoveryManager(EngineContext* ctx, std::string master_path)
+      : ctx_(ctx), master_path_(std::move(master_path)) {}
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Handler for logical undo (§4.2, non-page-oriented recovery): must
+  /// perform the inverse operation wherever the key now lives and log it as
+  /// a CLR with the given undo_next. Installed by Database.
+  using LogicalUndoFn = std::function<Status(
+      Transaction* txn, PageOp undo_op, const Slice& payload, Lsn undo_next)>;
+  void set_logical_undo_handler(LogicalUndoFn fn) {
+    logical_undo_ = std::move(fn);
+  }
+
+  /// Crash recovery. Call once, after Open, before serving operations.
+  Status Run(RecoveryStats* stats = nullptr);
+
+  /// Runtime rollback of one transaction/action chain (the TxnManager's
+  /// rollback handler). Latches each touched page exclusively.
+  Status RollbackTxn(Transaction* txn);
+
+  /// Rollback variant for callers that already hold X latches on some of
+  /// the pages (an atomic action failing mid-flight must not re-latch its
+  /// own pages). `latched` maps page id -> the caller's pinned handle.
+  /// `until_lsn` supports partial rollback (savepoints): records with
+  /// LSN <= until_lsn are kept (0 rolls back the whole chain).
+  Status RollbackTxnWithPages(Transaction* txn,
+                              const std::map<PageId, PageHandle*>& latched,
+                              Lsn until_lsn = kInvalidLsn);
+
+ private:
+  /// Undoes the single record `rec` for `txn`, logging a CLR, and returns
+  /// the next LSN of the chain to undo via `*next` (kInvalidLsn when the
+  /// chain is exhausted).
+  Status UndoOneRecord(Transaction* txn, const LogRecord& rec,
+                       const std::map<PageId, PageHandle*>* latched,
+                       Lsn* next, RecoveryStats* stats);
+
+  EngineContext* const ctx_;
+  const std::string master_path_;
+  LogicalUndoFn logical_undo_;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_RECOVERY_RECOVERY_MANAGER_H_

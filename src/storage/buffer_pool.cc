@@ -1,0 +1,191 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pitree {
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    pool_ = other.pool_;
+    frame_idx_ = other.frame_idx_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+PageHandle::~PageHandle() { Reset(); }
+
+void PageHandle::Reset() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(frame_idx_);
+    pool_ = nullptr;
+  }
+}
+
+char* PageHandle::data() const {
+  return pool_->frames_[frame_idx_]->data.get();
+}
+
+PageId PageHandle::id() const { return pool_->frames_[frame_idx_]->page_id; }
+
+Latch& PageHandle::latch() const { return pool_->frames_[frame_idx_]->latch; }
+
+void PageHandle::MarkDirty(Lsn lsn) {
+  PageSetLsn(data(), lsn);
+  pool_->MarkDirty(frame_idx_, lsn);
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity,
+                       EnsureDurableFn ensure_durable)
+    : disk_(disk), ensure_durable_(std::move(ensure_durable)) {
+  frames_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    frames_.push_back(std::make_unique<Frame>());
+    frames_.back()->data.reset(new char[kPageSize]);
+  }
+}
+
+Status BufferPool::FetchPage(PageId id, PageHandle* handle) {
+  return FetchInternal(id, /*zeroed=*/false, handle);
+}
+
+Status BufferPool::FetchPageZeroed(PageId id, PageHandle* handle) {
+  return FetchInternal(id, /*zeroed=*/true, handle);
+}
+
+Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
+  assert(id != kInvalidPageId);
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    Frame& f = *frames_[it->second];
+    ++f.pin_count;
+    f.lru_tick = ++tick_;
+    if (zeroed) {
+      // Caller is re-formatting a re-allocated page that is still resident.
+      memset(f.data.get(), 0, kPageSize);
+    }
+    *handle = PageHandle(this, it->second);
+    return Status::OK();
+  }
+  ++misses_;
+  size_t idx;
+  PITREE_RETURN_IF_ERROR(FindVictim(&idx));
+  Frame& f = *frames_[idx];
+  if (f.page_id != kInvalidPageId) {
+    PITREE_RETURN_IF_ERROR(FlushFrameLocked(f));
+    table_.erase(f.page_id);
+  }
+  if (zeroed) {
+    memset(f.data.get(), 0, kPageSize);
+  } else {
+    PITREE_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
+  }
+  f.page_id = id;
+  f.pin_count = 1;
+  f.dirty = false;
+  f.rec_lsn = kInvalidLsn;
+  f.lru_tick = ++tick_;
+  table_[id] = idx;
+  *handle = PageHandle(this, idx);
+  return Status::OK();
+}
+
+Status BufferPool::FindVictim(size_t* out_idx) {
+  size_t best = frames_.size();
+  uint64_t best_tick = UINT64_MAX;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    const Frame& f = *frames_[i];
+    if (f.page_id == kInvalidPageId) {
+      *out_idx = i;
+      return Status::OK();
+    }
+    if (f.pin_count == 0 && f.lru_tick < best_tick) {
+      best = i;
+      best_tick = f.lru_tick;
+    }
+  }
+  if (best == frames_.size()) {
+    return Status::Busy("buffer pool exhausted: all pages pinned");
+  }
+  *out_idx = best;
+  return Status::OK();
+}
+
+Status BufferPool::FlushFrameLocked(Frame& frame) {
+  if (!frame.dirty) return Status::OK();
+  // WAL protocol: the log must cover this page's last update before the
+  // page overwrites its disk image.
+  Lsn lsn = PageGetLsn(frame.data.get());
+  if (ensure_durable_ && lsn != kInvalidLsn) {
+    PITREE_RETURN_IF_ERROR(ensure_durable_(lsn));
+  }
+  PITREE_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
+  frame.dirty = false;
+  frame.rec_lsn = kInvalidLsn;
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId id) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = table_.find(id);
+  if (it == table_.end()) return Status::OK();
+  return FlushFrameLocked(*frames_[it->second]);
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& f : frames_) {
+    if (f->page_id != kInvalidPageId) {
+      PITREE_RETURN_IF_ERROR(FlushFrameLocked(*f));
+    }
+  }
+  return Status::OK();
+}
+
+void BufferPool::DiscardAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto& f : frames_) {
+    assert(f->pin_count == 0);
+    f->page_id = kInvalidPageId;
+    f->dirty = false;
+    f->rec_lsn = kInvalidLsn;
+  }
+  table_.clear();
+}
+
+std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::pair<PageId, Lsn>> dpt;
+  for (const auto& f : frames_) {
+    if (f->page_id != kInvalidPageId && f->dirty) {
+      dpt.emplace_back(f->page_id, f->rec_lsn);
+    }
+  }
+  return dpt;
+}
+
+uint64_t BufferPool::miss_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return misses_;
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Frame& f = *frames_[frame_idx];
+  assert(f.pin_count > 0);
+  --f.pin_count;
+}
+
+void BufferPool::MarkDirty(size_t frame_idx, Lsn lsn) {
+  std::lock_guard<std::mutex> guard(mu_);
+  Frame& f = *frames_[frame_idx];
+  if (!f.dirty) {
+    f.dirty = true;
+    f.rec_lsn = lsn;
+  }
+}
+
+}  // namespace pitree

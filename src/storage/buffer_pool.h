@@ -1,0 +1,127 @@
+#ifndef PITREE_STORAGE_BUFFER_POOL_H_
+#define PITREE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/latch.h"
+#include "storage/page.h"
+
+namespace pitree {
+
+class BufferPool;
+
+/// A pinned buffer frame. The pin is released on destruction. Latching the
+/// page is the caller's job via latch(); the handle does not latch.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(PageHandle&& other) noexcept { *this = std::move(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  ~PageHandle();
+
+  bool valid() const { return pool_ != nullptr; }
+  void Reset();  // unpins early
+
+  char* data() const;
+  PageId id() const;
+  Latch& latch() const;
+  Lsn page_lsn() const { return PageGetLsn(data()); }
+
+  /// Records that the caller modified the page under log record `lsn`.
+  /// Updates the page LSN (state identifier) and the dirty-page table entry.
+  void MarkDirty(Lsn lsn);
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, size_t frame_idx)
+      : pool_(pool), frame_idx_(frame_idx) {}
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_idx_ = 0;
+};
+
+/// Fixed-capacity page cache with LRU eviction.
+///
+/// Enforces write-ahead logging: before a dirty page goes to disk, the
+/// `ensure_durable` callback is invoked with the page's LSN so the WAL can be
+/// flushed at least that far.
+class BufferPool {
+ public:
+  using EnsureDurableFn = std::function<Status(Lsn)>;
+
+  BufferPool(DiskManager* disk, size_t capacity,
+             EnsureDurableFn ensure_durable);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk if not resident.
+  Status FetchPage(PageId id, PageHandle* handle);
+
+  /// Pins page `id` with a zeroed in-memory image (for freshly allocated
+  /// pages whose on-disk bytes are stale). The caller formats and logs it.
+  Status FetchPageZeroed(PageId id, PageHandle* handle);
+
+  /// Writes one page (if dirty) through to disk, honoring WAL order.
+  Status FlushPage(PageId id);
+
+  /// Writes all dirty pages through to disk, honoring WAL order.
+  Status FlushAll();
+
+  /// Drops every frame without writing. Requires no outstanding pins.
+  /// Used by tests to model loss of volatile state.
+  void DiscardAll();
+
+  /// Snapshot of (page id, recLSN) for every dirty page — the checkpoint DPT.
+  std::vector<std::pair<PageId, Lsn>> DirtyPageTable() const;
+
+  size_t capacity() const { return frames_.size(); }
+  uint64_t miss_count() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    Latch latch;
+    std::unique_ptr<char[]> data;
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    Lsn rec_lsn = kInvalidLsn;
+    uint64_t lru_tick = 0;
+  };
+
+  Status FetchInternal(PageId id, bool zeroed, PageHandle* handle);
+  // Both require mu_ held.
+  Status FindVictim(size_t* out_idx);
+  Status FlushFrameLocked(Frame& frame);
+
+  void Unpin(size_t frame_idx);
+  void MarkDirty(size_t frame_idx, Lsn lsn);
+
+  DiskManager* const disk_;
+  const EnsureDurableFn ensure_durable_;
+
+  mutable std::mutex mu_;
+  // unique_ptr because Frame contains a Latch, which is neither movable
+  // nor copyable.
+  std::vector<std::unique_ptr<Frame>> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  uint64_t tick_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,35 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace pitree {
+
+Status DiskManager::Open(Env* env, const std::string& path) {
+  return env->OpenFile(path, &file_);
+}
+
+Status DiskManager::ReadPage(PageId id, char* buf) const {
+  Slice result;
+  PITREE_RETURN_IF_ERROR(
+      file_->Read(static_cast<uint64_t>(id) * kPageSize, kPageSize, &result,
+                  buf));
+  if (result.size() < kPageSize) {
+    // Never-written page: present as all zeroes.
+    if (result.data() != buf && result.size() > 0) {
+      memmove(buf, result.data(), result.size());
+    }
+    memset(buf + result.size(), 0, kPageSize - result.size());
+  }
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* buf) {
+  return file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                      Slice(buf, kPageSize));
+}
+
+Status DiskManager::Sync() { return file_->Sync(); }
+
+uint64_t DiskManager::NumPages() const { return file_->Size() / kPageSize; }
+
+}  // namespace pitree

@@ -1,0 +1,45 @@
+#ifndef PITREE_STORAGE_DISK_MANAGER_H_
+#define PITREE_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "env/env.h"
+
+namespace pitree {
+
+/// Page-granular I/O over a single database file.
+///
+/// Thread-safe: the underlying File implementations support concurrent
+/// pread/pwrite at distinct offsets, and page-level exclusion is provided by
+/// the buffer pool's frame latches.
+class DiskManager {
+ public:
+  DiskManager() = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  Status Open(Env* env, const std::string& path);
+
+  /// Reads page `id` into `buf` (kPageSize bytes). Reading past EOF yields a
+  /// zeroed page, which callers interpret as never-written.
+  Status ReadPage(PageId id, char* buf) const;
+
+  /// Writes page `id` from `buf` (kPageSize bytes).
+  Status WritePage(PageId id, const char* buf);
+
+  /// Makes all written pages durable.
+  Status Sync();
+
+  /// Number of whole pages currently in the file.
+  uint64_t NumPages() const;
+
+ private:
+  std::unique_ptr<File> file_;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,99 @@
+#include "storage/latch.h"
+
+#include <cassert>
+
+namespace pitree {
+
+void Latch::AcquireS() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return SOk(); });
+  ++readers_;
+}
+
+void Latch::AcquireU() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return UOk(); });
+  u_held_ = true;
+}
+
+void Latch::AcquireX() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return XOk(); });
+  x_held_ = true;
+}
+
+bool Latch::TryAcquireS() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!SOk()) return false;
+  ++readers_;
+  return true;
+}
+
+bool Latch::TryAcquireU() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!UOk()) return false;
+  u_held_ = true;
+  return true;
+}
+
+bool Latch::TryAcquireX() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!XOk()) return false;
+  x_held_ = true;
+  return true;
+}
+
+void Latch::ReleaseS() {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(readers_ > 0);
+  --readers_;
+  cv_.notify_all();
+}
+
+void Latch::ReleaseU() {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(u_held_);
+  u_held_ = false;
+  cv_.notify_all();
+}
+
+void Latch::ReleaseX() {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(x_held_);
+  x_held_ = false;
+  cv_.notify_all();
+}
+
+void Latch::PromoteUToX() {
+  std::unique_lock<std::mutex> lk(mu_);
+  assert(u_held_ && !promoting_);
+  promoting_ = true;  // blocks new readers so the drain terminates
+  cv_.wait(lk, [&] { return readers_ == 0; });
+  u_held_ = false;
+  promoting_ = false;
+  x_held_ = true;
+}
+
+void Latch::DemoteXToU() {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(x_held_);
+  x_held_ = false;
+  u_held_ = true;
+  cv_.notify_all();
+}
+
+void Latch::Release(LatchMode mode) {
+  switch (mode) {
+    case LatchMode::kShared:
+      ReleaseS();
+      break;
+    case LatchMode::kUpdate:
+      ReleaseU();
+      break;
+    case LatchMode::kExclusive:
+      ReleaseX();
+      break;
+  }
+}
+
+}  // namespace pitree

@@ -1,0 +1,71 @@
+#ifndef PITREE_STORAGE_LATCH_H_
+#define PITREE_STORAGE_LATCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace pitree {
+
+/// Latch modes, §4.1 of the paper.
+///
+///  - S (share): many holders, readers.
+///  - U (update): one holder, compatible with S holders, promotable to X.
+///    Used whenever a node *might* be written, so that promotion never
+///    deadlocks (two S holders both promoting would).
+///  - X (exclusive): one holder, no other access.
+enum class LatchMode : uint8_t { kShared, kUpdate, kExclusive };
+
+/// A semaphore-style latch with S/U/X modes and U→X promotion.
+///
+/// Latches (unlike database locks) are held for page-visit durations only and
+/// never enter the lock manager; deadlock is avoided by resource ordering
+/// (parent before child, containing before contained, space map last), which
+/// callers are responsible for. Promotion from U to X is legal only while the
+/// holder owns no latch that is ordered after this one (paper §4.1.1); the
+/// latch itself cannot check that, but promotion never deadlocks *on this
+/// latch* because at most one U holder exists.
+class Latch {
+ public:
+  Latch() = default;
+  Latch(const Latch&) = delete;
+  Latch& operator=(const Latch&) = delete;
+
+  void AcquireS();
+  void AcquireU();
+  void AcquireX();
+
+  bool TryAcquireS();
+  bool TryAcquireU();
+  bool TryAcquireX();
+
+  void ReleaseS();
+  void ReleaseU();
+  void ReleaseX();
+
+  /// Promotes the calling U holder to X, waiting for readers to drain.
+  /// While a promotion is pending, new S requests block (prevents starvation).
+  void PromoteUToX();
+
+  /// Demotes the calling X holder to U, admitting readers again.
+  void DemoteXToU();
+
+  /// Releases whatever mode `mode` names; convenience for handle code.
+  void Release(LatchMode mode);
+
+ private:
+  bool SOk() const { return !x_held_ && !promoting_; }
+  bool UOk() const { return !x_held_ && !u_held_; }
+  bool XOk() const { return !x_held_ && !u_held_ && readers_ == 0; }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;
+  bool u_held_ = false;
+  bool x_held_ = false;
+  bool promoting_ = false;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_STORAGE_LATCH_H_

@@ -1,0 +1,56 @@
+#ifndef PITREE_STORAGE_PAGE_H_
+#define PITREE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+#include "common/coding.h"
+#include "common/types.h"
+
+namespace pitree {
+
+/// Page type discriminator stored in every page header.
+enum class PageType : uint8_t {
+  kFree = 0,
+  kSpaceMap = 1,
+  kCatalog = 2,
+  kTreeNode = 3,   // Π-tree / B-link node (leaf or index)
+  kTsbNode = 4,    // TSB-tree node
+  kMdNode = 5,     // multi-attribute Π-tree node
+};
+
+/// Common header at the front of every 8 KiB page.
+///
+///   [0..8)   page LSN — the LSN of the last log record applied to the page.
+///            Doubles as the paper's *state identifier* (§5.2): saved paths
+///            remember it and re-traversals compare it to detect change.
+///   [8..12)  page id (self-check against torn/misdirected writes)
+///   [12]     page type
+///   [13..16) reserved
+///
+/// Type-specific layouts begin at kPageHeaderSize.
+inline constexpr size_t kPageHeaderSize = 16;
+
+inline Lsn PageGetLsn(const char* page) { return DecodeFixed64(page); }
+inline void PageSetLsn(char* page, Lsn lsn) { EncodeFixed64(page, lsn); }
+
+inline PageId PageGetId(const char* page) { return DecodeFixed32(page + 8); }
+inline void PageSetId(char* page, PageId id) { EncodeFixed32(page + 8, id); }
+
+inline PageType PageGetType(const char* page) {
+  return static_cast<PageType>(static_cast<uint8_t>(page[12]));
+}
+inline void PageSetType(char* page, PageType t) {
+  page[12] = static_cast<char>(t);
+}
+
+/// Initializes the common header of a zeroed page buffer.
+inline void PageInitHeader(char* page, PageId id, PageType type) {
+  PageSetLsn(page, kInvalidLsn);
+  PageSetId(page, id);
+  PageSetType(page, type);
+  page[13] = page[14] = page[15] = 0;
+}
+
+}  // namespace pitree
+
+#endif  // PITREE_STORAGE_PAGE_H_

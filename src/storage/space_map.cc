@@ -1,0 +1,76 @@
+#include "storage/space_map.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "storage/page.h"
+
+namespace pitree {
+
+namespace {
+constexpr size_t kBitmapStart = kPageHeaderSize;
+constexpr size_t kBitmapBytes = kPageSize - kBitmapStart;
+
+void SetBit(char* page, PageId id, bool value) {
+  char& byte = page[kBitmapStart + id / 8];
+  char mask = static_cast<char>(1u << (id % 8));
+  if (value) {
+    byte |= mask;
+  } else {
+    byte &= ~mask;
+  }
+}
+}  // namespace
+
+size_t SpaceMapCapacity() { return kBitmapBytes * 8; }
+
+std::string SmBitPayload(PageId page) {
+  std::string out;
+  PutFixed32(&out, page);
+  return out;
+}
+
+std::string SmFormatPayload() { return std::string(); }
+
+bool SmIsAllocated(const char* page, PageId id) {
+  if (id >= SpaceMapCapacity()) return false;
+  return page[kBitmapStart + id / 8] & (1u << (id % 8));
+}
+
+PageId SmFindFree(const char* page, PageId hint) {
+  PageId start = hint < kFirstAllocatablePage ? kFirstAllocatablePage : hint;
+  for (PageId id = start; id < SpaceMapCapacity(); ++id) {
+    if (!SmIsAllocated(page, id)) return id;
+  }
+  for (PageId id = kFirstAllocatablePage; id < start; ++id) {
+    if (!SmIsAllocated(page, id)) return id;
+  }
+  return kInvalidPageId;
+}
+
+Status ApplySpaceMapRedo(PageOp op, const Slice& payload, char* page) {
+  switch (op) {
+    case PageOp::kSmFormat: {
+      PageId self = PageGetId(page);
+      memset(page + kPageHeaderSize, 0, kPageSize - kPageHeaderSize);
+      PageSetId(page, self);
+      PageSetType(page, PageType::kSpaceMap);
+      SetBit(page, kSpaceMapPage, true);
+      SetBit(page, kCatalogPage, true);
+      return Status::OK();
+    }
+    case PageOp::kSmSet:
+    case PageOp::kSmClear: {
+      Slice in = payload;
+      uint32_t id;
+      if (!GetFixed32(&in, &id)) return Status::Corruption("sm payload");
+      if (id >= SpaceMapCapacity()) return Status::Corruption("sm page id");
+      SetBit(page, id, op == PageOp::kSmSet);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("not a space map op");
+  }
+}
+
+}  // namespace pitree

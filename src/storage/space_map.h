@@ -1,0 +1,46 @@
+#ifndef PITREE_STORAGE_SPACE_MAP_H_
+#define PITREE_STORAGE_SPACE_MAP_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "wal/log_record.h"
+
+namespace pitree {
+
+/// Page allocation bitmap stored in page 0 (kSpaceMapPage).
+///
+/// Alloc/free are logged page operations (kSmSet/kSmClear) so that structure
+/// changes containing them are atomic: an aborted split's page allocation is
+/// undone by the action's rollback, and redo is idempotent via the page LSN.
+///
+/// Latch order (§4.1.1): the space-map page is ordered after every tree
+/// node, so it is always latched last within an atomic action.
+inline constexpr PageId kSpaceMapPage = 0;
+inline constexpr PageId kCatalogPage = 1;
+inline constexpr PageId kFirstAllocatablePage = 2;
+
+/// Number of pages one bitmap page can govern.
+size_t SpaceMapCapacity();
+
+/// Payload builders for the space-map ops.
+std::string SmBitPayload(PageId page);
+
+/// Applies a space-map redo payload to the raw bitmap page.
+Status ApplySpaceMapRedo(PageOp op, const Slice& payload, char* page);
+
+/// Pure-page helpers used by the engine (callers hold the page latch and log
+/// the matching op themselves via LogAndApply).
+bool SmIsAllocated(const char* page, PageId id);
+
+/// Finds the lowest free page id at or after `hint`; kInvalidPageId if full.
+PageId SmFindFree(const char* page, PageId hint);
+
+/// Builds the format payload that marks the metadata pages allocated.
+std::string SmFormatPayload();
+
+}  // namespace pitree
+
+#endif  // PITREE_STORAGE_SPACE_MAP_H_

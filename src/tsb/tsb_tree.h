@@ -1,0 +1,156 @@
+#ifndef PITREE_TSB_TSB_TREE_H_
+#define PITREE_TSB_TSB_TREE_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/engine_context.h"
+#include "pitree/node_page.h"
+#include "storage/buffer_pool.h"
+#include "txn/transaction.h"
+
+namespace pitree {
+
+/// Version timestamps: logical, monotonically increasing per tree.
+using TsbTime = uint64_t;
+
+struct TsbStats {
+  std::atomic<uint64_t> key_splits{0};
+  std::atomic<uint64_t> time_splits{0};
+  std::atomic<uint64_t> root_grows{0};
+  std::atomic<uint64_t> history_hops{0};  // history sibling traversals
+  std::atomic<uint64_t> side_traversals{0};
+};
+
+/// One version returned by history queries.
+struct TsbVersion {
+  TsbTime time;
+  bool deleted;        // tombstone
+  std::string value;
+};
+
+/// The Time-Split B-tree (paper §2.2.2, Figure 1) as a Π-tree instance:
+/// the second search structure driven by the same atomic-action machinery.
+///
+/// Current nodes are responsible for their key space *and its entire
+/// history*: a **key sibling pointer** (the B-link side pointer) delegates
+/// higher key ranges, and a **history sibling pointer** delegates all
+/// versions older than the node's last time split. A time split copies the
+/// node's contents into a new *historical* node (which never splits again)
+/// and prunes dead versions from the current node; a key split delegates the
+/// upper key range to a new current node, which receives a copy of the
+/// history pointer (Figure 1's caption, verbatim behavior).
+///
+/// Both split kinds are independent atomic actions; key-split index-term
+/// postings use the same deferred-completion discipline as the Π-tree.
+///
+/// Storage mapping: records are composite-keyed (user_key · 0x00 · time) in
+/// ordinary tree-node pages; the history sibling term is a reserved entry
+/// ("\x01H") holding (history page, split time). User keys must be
+/// non-empty and free of 0x00 bytes.
+///
+/// Simplification (documented in DESIGN.md): index nodes are not time-split;
+/// historical data is reached through history sibling chains from current
+/// nodes. This preserves Figure 1's node-level behavior and the Π-tree
+/// generality claim while keeping the index single-dimension.
+class TsbTree {
+ public:
+  TsbTree(EngineContext* ctx, PageId root);
+  TsbTree(const TsbTree&) = delete;
+  TsbTree& operator=(const TsbTree&) = delete;
+
+  static Status Create(EngineContext* ctx, PageId root);
+
+  /// Returns a fresh timestamp greater than any returned before.
+  TsbTime Now() { return clock_.fetch_add(1) + 1; }
+
+  /// Writes a new version of `key` at time `t` (t from Now(), or any value
+  /// larger than the key's previous versions).
+  Status Put(Transaction* txn, const Slice& key, const Slice& value,
+             TsbTime t);
+
+  /// Writes a deletion tombstone at time `t`.
+  Status Erase(Transaction* txn, const Slice& key, TsbTime t);
+
+  /// Latest version as of `t` (NotFound if absent or tombstoned).
+  Status GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
+                 std::string* value);
+
+  /// Current version (as of "now").
+  Status Get(Transaction* txn, const Slice& key, std::string* value) {
+    return GetAsOf(txn, key, ~TsbTime{0}, value);
+  }
+
+  /// All versions of `key`, newest first, following history chains.
+  Status History(Transaction* txn, const Slice& key,
+                 std::vector<TsbVersion>* versions);
+
+  /// Structural sanity checker for the TSB instance: current-level B-link
+  /// invariants plus history-chain time ordering.
+  Status CheckWellFormed(std::string* report) const;
+
+  /// Debug/figure support: renders the node partition (current + history
+  /// chains) as text — used by bench_fig1_tsb to reproduce Figure 1.
+  Status DumpStructure(std::string* out) const;
+
+  PageId root() const { return root_; }
+  const TsbStats& stats() const { return stats_; }
+
+  // Composite-key helpers (exposed for tests).
+  static std::string CompositeKey(const Slice& key, TsbTime t);
+  static bool SplitComposite(const Slice& composite, Slice* key, TsbTime* t);
+  static const char* kHistoryEntryKey;  // reserved in-node entry key
+
+ private:
+  struct HistoryTerm {
+    PageId page = kInvalidPageId;
+    TsbTime split_time = 0;
+  };
+
+  static std::string EncodeHistoryTerm(PageId page, TsbTime t);
+  static bool DecodeHistoryTerm(const Slice& v, HistoryTerm* term);
+  static bool GetHistoryTerm(const NodeRef& node, HistoryTerm* term);
+
+  /// Descends the current tree to the leaf covering `key`, latched in
+  /// `mode`; appends unposted-split completions to `pending`.
+  Status DescendToLeaf(Transaction* txn, const Slice& key, LatchMode mode,
+                       PageHandle* leaf,
+                       std::vector<std::pair<PageId, std::string>>* pending);
+
+  /// Splits the X-latched current leaf by time at `t` (atomic action owner
+  /// `action`): new historical node takes a full copy; dead versions are
+  /// pruned from the current node.
+  Status TimeSplit(Transaction* action, PageHandle& leaf, TsbTime t);
+
+  /// Splits the X-latched current leaf by key (atomic action), copying the
+  /// history term into the new sibling. Returns the new sibling and its
+  /// low key for posting.
+  Status KeySplit(Transaction* action, PageHandle& leaf, PageId* sibling,
+                  std::string* split_key);
+
+  /// Grows the root exactly like the Π-tree (immortal root page).
+  Status GrowRoot(Transaction* action, PageHandle& root_h);
+
+  /// Posts (sep -> sibling) into the parent level, completing key splits.
+  Status PostKeySplit(const Slice& approx_key);
+
+  /// Picks and performs the split kind for a full leaf (§2.2.2 policy:
+  /// time split when enough dead versions, else key split).
+  Status SplitLeaf(PageHandle* leaf, const Slice& key);
+
+  Status WriteVersion(Transaction* txn, const Slice& key, TsbTime t,
+                      bool tombstone, const Slice& value);
+
+  EngineContext* const ctx_;
+  const PageId root_;
+  std::atomic<TsbTime> clock_{1};
+  mutable TsbStats stats_;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_TSB_TSB_TREE_H_

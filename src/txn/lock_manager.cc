@@ -1,0 +1,243 @@
+#include "txn/lock_manager.h"
+
+#include <cassert>
+#include <chrono>
+#include <unordered_set>
+#include <vector>
+
+namespace pitree {
+
+namespace {
+// Rows/columns ordered as LockMode: S, U, X, IS, IU, M.
+constexpr bool kCompat[6][6] = {
+    //         S      U      X      IS     IU     M
+    /* S  */ {true,  true,  false, true,  true,  true},
+    /* U  */ {true,  false, false, true,  true,  false},
+    /* X  */ {false, false, false, false, false, false},
+    /* IS */ {true,  true,  false, true,  true,  true},
+    /* IU */ {true,  true,  false, true,  true,  false},
+    /* M  */ {true,  false, false, true,  false, false},
+};
+
+// Strength order used for conversions. X dominates everything; U dominates
+// S; IU dominates IS; a mix of M with an update mode escalates to M/X
+// conservatively.
+int Rank(LockMode m) {
+  switch (m) {
+    case LockMode::kIS: return 0;
+    case LockMode::kIU: return 1;
+    case LockMode::kS: return 2;
+    case LockMode::kU: return 3;
+    case LockMode::kM: return 4;
+    case LockMode::kX: return 5;
+  }
+  return 5;
+}
+}  // namespace
+
+bool LockModesCompatible(LockMode a, LockMode b) {
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+LockMode LockModeSupremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  return Rank(a) > Rank(b) ? a : b;
+}
+
+// A queued (ungranted) fresh request is grantable when it is compatible with
+// every other transaction's *granted* lock and with every incompatible
+// request queued AHEAD of it. Blocking behind earlier waiters keeps the
+// queue fair: without it, a stream of IU requests starves a waiting move
+// lock forever (§4.2.2 requires the move to win eventually).
+// Conversions are exempt (they test only granted locks) so upgrades cannot
+// be wedged behind fresh waiters.
+bool LockManager::Grantable(const Queue& q, TxnId txn, LockMode mode) const {
+  for (const auto& r : q) {
+    if (r.txn == txn) {
+      if (!r.granted) break;  // reached our own queued request: done
+      continue;
+    }
+    if (r.granted && !LockModesCompatible(r.mode, mode)) return false;
+    if (!r.granted && !LockModesCompatible(r.mode, mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::ConversionGrantable(const Queue& q, TxnId txn,
+                                      LockMode mode) const {
+  for (const auto& r : q) {
+    if (r.txn == txn) continue;
+    if (r.granted && !LockModesCompatible(r.mode, mode)) return false;
+  }
+  return true;
+}
+
+bool LockManager::WaitWouldDeadlock(TxnId waiter) const {
+  // DFS over the waits-for graph. An edge T -> H exists when T waits on a
+  // resource where H holds an incompatible granted lock, or where H's
+  // incompatible request is queued ahead of T's (fair-queue blocking).
+  std::unordered_set<TxnId> visited;
+  std::vector<TxnId> stack = {waiter};
+  bool first = true;
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (!first) {
+      if (t == waiter) return true;
+      if (!visited.insert(t).second) continue;
+    }
+    first = false;
+    auto wit = waiting_on_.find(t);
+    if (wit == waiting_on_.end()) continue;
+    auto qit = table_.find(wit->second);
+    if (qit == table_.end()) continue;
+    // Find t's ungranted request (mode + position).
+    LockMode want = LockMode::kS;
+    size_t pos = 0, idx = 0;
+    bool found = false;
+    for (const auto& r : qit->second) {
+      if (r.txn == t && !r.granted) {
+        want = r.mode;
+        pos = idx;
+        found = true;
+        break;
+      }
+      ++idx;
+    }
+    if (!found) continue;
+    idx = 0;
+    for (const auto& r : qit->second) {
+      bool blocks = false;
+      if (r.txn != t && !LockModesCompatible(r.mode, want)) {
+        blocks = r.granted || idx < pos;
+      }
+      if (blocks) stack.push_back(r.txn);
+      ++idx;
+    }
+  }
+  return false;
+}
+
+Status LockManager::Lock(Transaction* txn, const std::string& resource,
+                         LockMode mode, bool wait) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Queue& q = table_[resource];
+
+  auto drop_ungranted = [&] {
+    q.remove_if(
+        [&](const Request& r) { return r.txn == txn->id && !r.granted; });
+    if (q.empty()) table_.erase(resource);
+  };
+
+  // Conversion path: the txn already holds this resource in some mode.
+  auto held = txn->held_locks.find(resource);
+  if (held != txn->held_locks.end()) {
+    LockMode target = LockModeSupremum(held->second, mode);
+    if (target == held->second) return Status::OK();
+    if (!ConversionGrantable(q, txn->id, target)) {
+      if (!wait) return Status::Busy("lock conversion would block");
+      // Enqueue an ungranted request so deadlock detection can see this
+      // conversion wait (two S holders upgrading to X, or two IU holders
+      // upgrading to a move lock, form a cycle that must be broken).
+      q.push_back({txn->id, target, false});
+      waiting_on_[txn->id] = resource;
+      while (!ConversionGrantable(q, txn->id, target)) {
+        if (WaitWouldDeadlock(txn->id)) {
+          waiting_on_.erase(txn->id);
+          drop_ungranted();
+          ++deadlocks_;
+          cv_.notify_all();
+          return Status::Deadlock("lock conversion on " + resource);
+        }
+        cv_.wait_for(lk, std::chrono::milliseconds(20));
+      }
+      waiting_on_.erase(txn->id);
+      q.remove_if(
+          [&](const Request& r) { return r.txn == txn->id && !r.granted; });
+    }
+    for (auto& r : q) {
+      if (r.txn == txn->id && r.granted) {
+        r.mode = target;
+        break;
+      }
+    }
+    held->second = target;
+    cv_.notify_all();
+    return Status::OK();
+  }
+
+  // Fresh request: enqueue, then test fair grantability.
+  q.push_back({txn->id, mode, false});
+  if (!Grantable(q, txn->id, mode)) {
+    if (!wait) {
+      drop_ungranted();
+      return Status::Busy("lock would block");
+    }
+    waiting_on_[txn->id] = resource;
+    while (!Grantable(q, txn->id, mode)) {
+      if (WaitWouldDeadlock(txn->id)) {
+        waiting_on_.erase(txn->id);
+        drop_ungranted();
+        ++deadlocks_;
+        cv_.notify_all();
+        return Status::Deadlock("lock wait on " + resource);
+      }
+      cv_.wait_for(lk, std::chrono::milliseconds(20));
+    }
+    waiting_on_.erase(txn->id);
+  }
+  for (auto& r : q) {
+    if (r.txn == txn->id && !r.granted) {
+      r.granted = true;
+      break;
+    }
+  }
+  txn->held_locks[resource] = mode;
+  cv_.notify_all();
+  return Status::OK();
+}
+
+void LockManager::Unlock(Transaction* txn, const std::string& resource) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(resource);
+  if (it != table_.end()) {
+    it->second.remove_if(
+        [&](const Request& r) { return r.txn == txn->id && r.granted; });
+    if (it->second.empty()) table_.erase(it);
+  }
+  txn->held_locks.erase(resource);
+  cv_.notify_all();
+}
+
+void LockManager::ReleaseAll(Transaction* txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [resource, mode] : txn->held_locks) {
+    auto it = table_.find(resource);
+    if (it == table_.end()) continue;
+    it->second.remove_if(
+        [&](const Request& r) { return r.txn == txn->id && r.granted; });
+    if (it->second.empty()) table_.erase(it);
+  }
+  txn->held_locks.clear();
+  cv_.notify_all();
+}
+
+bool LockManager::WouldConflict(TxnId self, const std::string& resource,
+                                LockMode mode) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = table_.find(resource);
+  if (it == table_.end()) return false;
+  for (const auto& r : it->second) {
+    if (r.txn != self && r.granted && !LockModesCompatible(r.mode, mode)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t LockManager::deadlock_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return deadlocks_;
+}
+
+}  // namespace pitree

@@ -1,0 +1,85 @@
+#ifndef PITREE_TXN_LOCK_MANAGER_H_
+#define PITREE_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/transaction.h"
+
+namespace pitree {
+
+/// Returns true if a lock in `a` may be held concurrently with one in `b`.
+/// The matrix realizes §4.1.1 (S/U/X) and §4.2.2 (move locks):
+///   - U is compatible with S but not with U/X (promotion safety);
+///   - M (move) is compatible with readers (S, IS) but conflicts with
+///     updaters (IU, U, X) and other moves.
+bool LockModesCompatible(LockMode a, LockMode b);
+
+/// Least mode at least as strong as both (for conversions, e.g. S -> X).
+LockMode LockModeSupremum(LockMode a, LockMode b);
+
+/// Database lock manager with FIFO-ish queuing, lock conversion, no-wait
+/// acquisition, and waits-for-graph deadlock detection.
+///
+/// Latches never enter this table (paper §4.1: "latches do not involve the
+/// database lock manager"); the No-Wait Rule is realized by callers using
+/// `wait=false` while they hold conflicting latches.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (or converts to) `mode` on `resource` for `txn`.
+  ///  - wait=true: blocks until granted; returns Deadlock if the wait would
+  ///    close a cycle (the requester is the victim and must roll back).
+  ///  - wait=false: returns Busy instead of blocking.
+  /// Granted locks are recorded in txn->held_locks.
+  Status Lock(Transaction* txn, const std::string& resource, LockMode mode,
+              bool wait = true);
+
+  /// Releases one lock (used by atomic actions releasing early).
+  void Unlock(Transaction* txn, const std::string& resource);
+
+  /// Releases everything `txn` holds (commit/abort).
+  void ReleaseAll(Transaction* txn);
+
+  /// True if some other transaction currently holds `resource` in a mode
+  /// incompatible with `mode` (used for the move-lock visibility test:
+  /// traversals that see a move lock must not schedule index postings).
+  bool WouldConflict(TxnId self, const std::string& resource,
+                     LockMode mode) const;
+
+  /// Number of waits that ended in deadlock victimization (stats).
+  uint64_t deadlock_count() const;
+
+ private:
+  struct Request {
+    TxnId txn;
+    LockMode mode;
+    bool granted;
+  };
+  using Queue = std::list<Request>;
+
+  // All require mu_ held.
+  bool Grantable(const Queue& q, TxnId txn, LockMode mode) const;
+  bool ConversionGrantable(const Queue& q, TxnId txn, LockMode mode) const;
+  bool WaitWouldDeadlock(TxnId waiter) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Queue> table_;
+  // txn -> resource it is currently blocked on (one at a time per thread).
+  std::unordered_map<TxnId, std::string> waiting_on_;
+  uint64_t deadlocks_ = 0;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_TXN_LOCK_MANAGER_H_

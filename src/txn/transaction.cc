@@ -1,0 +1,20 @@
+#include "txn/transaction.h"
+
+#include "common/coding.h"
+
+namespace pitree {
+
+std::string RecordLockName(uint32_t index_id, const Slice& key) {
+  std::string name(1, 'R');
+  PutFixed32(&name, index_id);
+  name.append(key.data(), key.size());
+  return name;
+}
+
+std::string PageLockName(PageId page) {
+  std::string name(1, 'P');
+  PutFixed32(&name, page);
+  return name;
+}
+
+}  // namespace pitree

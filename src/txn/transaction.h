@@ -1,0 +1,59 @@
+#ifndef PITREE_TXN_TRANSACTION_H_
+#define PITREE_TXN_TRANSACTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/slice.h"
+#include "common/types.h"
+
+namespace pitree {
+
+enum class TxnState : uint8_t {
+  kRunning,
+  kCommitted,
+  kAborting,
+  kAborted,
+};
+
+enum class LockMode : uint8_t {
+  kS = 0,   // share
+  kU = 1,   // update: shared with S, promotable, conflicts U/X
+  kX = 2,   // exclusive
+  kIS = 3,  // intent share on a page granule
+  kIU = 4,  // intent update on a page granule (what record updaters hold)
+  kM = 5,   // move lock (§4.2.2): compatible with readers, conflicts updates
+};
+
+/// A database transaction or an atomic action.
+///
+/// Atomic actions (§4.3.2) are system transactions: same id space, same log
+/// chain, same rollback machinery, but they commit without forcing the log
+/// and release their locks at action end rather than at user-commit.
+///
+/// Not thread-safe: a transaction is driven by one thread at a time; the
+/// TxnManager's table lock guards cross-thread visibility (checkpointing).
+struct Transaction {
+  TxnId id = kInvalidTxnId;
+  bool is_system = false;
+  TxnState state = TxnState::kRunning;
+
+  /// LSN of this transaction's most recent log record (undo chain head).
+  Lsn last_lsn = kInvalidLsn;
+
+  /// During rollback: next record to undo (kInvalidLsn = use last_lsn).
+  Lsn undo_next = kInvalidLsn;
+
+  /// Locks currently held: resource name -> strongest granted mode.
+  std::map<std::string, LockMode> held_locks;
+};
+
+/// Lock resource naming helpers. A record lock and a page (move/intent)
+/// lock are distinct granules in the same lock space.
+std::string RecordLockName(uint32_t index_id, const Slice& key);
+std::string PageLockName(PageId page);
+
+}  // namespace pitree
+
+#endif  // PITREE_TXN_TRANSACTION_H_

@@ -1,0 +1,121 @@
+#include "txn/txn_manager.h"
+
+#include <cassert>
+
+namespace pitree {
+
+Transaction* TxnManager::Begin(bool is_system) {
+  auto txn = std::make_unique<Transaction>();
+  txn->id = next_id_.fetch_add(1);
+  txn->is_system = is_system;
+  Transaction* raw = txn.get();
+  std::lock_guard<std::mutex> lk(mu_);
+  begun_[raw->id] = false;
+  active_[raw->id] = std::move(txn);
+  return raw;
+}
+
+Status TxnManager::EnsureBegun(Transaction* txn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = begun_.find(txn->id);
+    if (it == begun_.end() || it->second) return Status::OK();
+    it->second = true;
+  }
+  Lsn lsn;
+  return wal_->Append(MakeBegin(txn->id, txn->is_system), &lsn);
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  assert(txn->state == TxnState::kRunning);
+  bool logged;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    logged = begun_[txn->id];
+  }
+  if (logged) {
+    Lsn lsn;
+    PITREE_RETURN_IF_ERROR(wal_->Append(MakeCommit(txn->id, txn->last_lsn),
+                                        &lsn));
+    if (!txn->is_system) {
+      // Durability for user transactions. Atomic actions rely on relative
+      // durability (§4.3.1): no force here.
+      PITREE_RETURN_IF_ERROR(wal_->Flush(lsn));
+    }
+  }
+  txn->state = TxnState::kCommitted;
+  locks_->ReleaseAll(txn);
+  Discard(txn);
+  return Status::OK();
+}
+
+Status TxnManager::Abort(Transaction* txn) {
+  assert(txn->state == TxnState::kRunning ||
+         txn->state == TxnState::kAborting);
+  bool logged;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    logged = begun_[txn->id];
+  }
+  txn->state = TxnState::kAborting;
+  if (logged) {
+    Lsn lsn;
+    PITREE_RETURN_IF_ERROR(wal_->Append(MakeAbort(txn->id, txn->last_lsn),
+                                        &lsn));
+    txn->last_lsn = lsn;
+    assert(rollback_);
+    PITREE_RETURN_IF_ERROR(rollback_(txn));
+    PITREE_RETURN_IF_ERROR(
+        wal_->Append(MakeEnd(txn->id, txn->last_lsn), &lsn));
+  }
+  txn->state = TxnState::kAborted;
+  locks_->ReleaseAll(txn);
+  Discard(txn);
+  return Status::OK();
+}
+
+Transaction* TxnManager::AdoptLoser(TxnId id, bool is_system, Lsn last_lsn,
+                                    Lsn undo_next) {
+  auto txn = std::make_unique<Transaction>();
+  txn->id = id;
+  txn->is_system = is_system;
+  txn->state = TxnState::kAborting;
+  txn->last_lsn = last_lsn;
+  txn->undo_next = undo_next;
+  Transaction* raw = txn.get();
+  std::lock_guard<std::mutex> lk(mu_);
+  begun_[id] = true;
+  active_[id] = std::move(txn);
+  return raw;
+}
+
+void TxnManager::Discard(Transaction* txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  begun_.erase(txn->id);
+  active_.erase(txn->id);  // destroys *txn
+}
+
+void TxnManager::AdvanceTxnIdFloor(TxnId floor) {
+  TxnId cur = next_id_.load();
+  while (cur <= floor && !next_id_.compare_exchange_weak(cur, floor + 1)) {
+  }
+}
+
+std::vector<AttEntry> TxnManager::SnapshotAtt() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<AttEntry> att;
+  for (const auto& [id, txn] : active_) {
+    auto bit = begun_.find(id);
+    if (bit == begun_.end() || !bit->second) continue;  // nothing logged
+    att.push_back({id, txn->is_system, txn->last_lsn, txn->undo_next,
+                   txn->state == TxnState::kAborting});
+  }
+  return att;
+}
+
+size_t TxnManager::active_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_.size();
+}
+
+}  // namespace pitree

@@ -1,0 +1,95 @@
+#ifndef PITREE_TXN_TXN_MANAGER_H_
+#define PITREE_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+
+/// Snapshot of one active transaction, for the checkpoint ATT.
+struct AttEntry {
+  TxnId txn_id;
+  bool is_system;
+  Lsn last_lsn;
+  Lsn undo_next;
+  bool aborting;
+};
+
+/// Owns all live transactions and atomic actions.
+///
+/// Commit policy (§4.3.1):
+///  - user transactions force the log through their commit record;
+///  - atomic actions are only *relatively durable* — their commit record is
+///    appended but not forced; the next user commit (or a WAL-before-data
+///    flush) carries it to disk. A crash before that undoes the action,
+///    which is correct because nothing durable depended on it.
+class TxnManager {
+ public:
+  TxnManager(WalManager* wal, LockManager* locks)
+      : wal_(wal), locks_(locks) {}
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  /// Handler used to roll back a transaction's log chain (installed by
+  /// Database; implemented by RecoveryManager so runtime aborts and crash
+  /// undo share one code path).
+  using RollbackFn = std::function<Status(Transaction*)>;
+  void set_rollback_handler(RollbackFn fn) { rollback_ = std::move(fn); }
+
+  /// Starts a user transaction (is_system=false) or an atomic action
+  /// (is_system=true). The kBegin record is logged lazily on first update,
+  /// so read-only work writes nothing.
+  Transaction* Begin(bool is_system = false);
+
+  /// Logs the kBegin record if not yet logged. Called by LogAndApply.
+  Status EnsureBegun(Transaction* txn);
+
+  /// Commits: logs kCommit; forces the log for user transactions; releases
+  /// all locks; destroys the Transaction.
+  Status Commit(Transaction* txn);
+
+  /// Aborts: logs kAbort, undoes the chain (CLRs), logs kEnd, releases
+  /// locks, destroys the Transaction.
+  Status Abort(Transaction* txn);
+
+  /// Registers a transaction reconstructed by recovery analysis (loser).
+  Transaction* AdoptLoser(TxnId id, bool is_system, Lsn last_lsn,
+                          Lsn undo_next);
+
+  /// Destroys a transaction without logging (used by recovery after a
+  /// loser's undo completes).
+  void Discard(Transaction* txn);
+
+  /// Ensures future ids are greater than `floor` (recovery sets this past
+  /// the largest id seen in the log).
+  void AdvanceTxnIdFloor(TxnId floor);
+
+  /// ATT snapshot for fuzzy checkpoints.
+  std::vector<AttEntry> SnapshotAtt() const;
+
+  size_t active_count() const;
+
+ private:
+  WalManager* const wal_;
+  LockManager* const locks_;
+  RollbackFn rollback_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
+  std::unordered_map<TxnId, bool> begun_;  // kBegin logged yet?
+  std::atomic<TxnId> next_id_{1};
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_TXN_TXN_MANAGER_H_

@@ -1,0 +1,39 @@
+#include "wal/log_reader.h"
+
+#include <memory>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace pitree {
+
+Status LogReader::ReadNext(LogRecord* rec) {
+  char header[8];
+  Slice result;
+  PITREE_RETURN_IF_ERROR(file_->Read(offset_, sizeof(header), &result, header));
+  if (result.size() < sizeof(header)) {
+    return Status::NotFound("end of log");
+  }
+  uint32_t expected_crc = UnmaskCrc(DecodeFixed32(result.data()));
+  uint32_t len = DecodeFixed32(result.data() + 4);
+  if (len == 0 || len > (64u << 20)) {
+    return Status::NotFound("end of log (implausible frame)");
+  }
+  std::string buf(len, '\0');
+  PITREE_RETURN_IF_ERROR(
+      file_->Read(offset_ + sizeof(header), len, &result, buf.data()));
+  if (result.size() < len) {
+    return Status::NotFound("end of log (short payload)");
+  }
+  if (Crc32c(result.data(), len) != expected_crc) {
+    return Status::NotFound("end of log (crc mismatch)");
+  }
+  Status s = rec->DecodeFrom(Slice(result.data(), len));
+  if (!s.ok()) return s;
+  rec->lsn = offset_;
+  offset_ += sizeof(header) + len;
+  rec->next_lsn = offset_;
+  return Status::OK();
+}
+
+}  // namespace pitree

@@ -1,0 +1,134 @@
+#include "wal/log_record.h"
+
+#include "common/coding.h"
+
+namespace pitree {
+
+void LogRecord::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutVarint64(dst, txn_id);
+  PutVarint64(dst, prev_lsn);
+  switch (type) {
+    case LogRecordType::kUpdate:
+      PutFixed32(dst, page_id);
+      dst->push_back(static_cast<char>(op));
+      PutLengthPrefixedSlice(dst, redo);
+      dst->push_back(static_cast<char>(undo_op));
+      PutLengthPrefixedSlice(dst, undo);
+      break;
+    case LogRecordType::kClr:
+      PutFixed32(dst, page_id);
+      dst->push_back(static_cast<char>(op));
+      PutLengthPrefixedSlice(dst, redo);
+      PutVarint64(dst, undo_next);
+      break;
+    case LogRecordType::kBegin:
+    case LogRecordType::kCheckpointBegin:
+    case LogRecordType::kCheckpointEnd:
+      PutLengthPrefixedSlice(dst, misc);
+      break;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kEnd:
+      break;
+  }
+}
+
+Status LogRecord::DecodeFrom(Slice in) {
+  if (in.empty()) return Status::Corruption("empty log payload");
+  type = static_cast<LogRecordType>(static_cast<uint8_t>(in[0]));
+  in.remove_prefix(1);
+  uint64_t v;
+  if (!GetVarint64(&in, &v)) return Status::Corruption("log txn id");
+  txn_id = v;
+  if (!GetVarint64(&in, &v)) return Status::Corruption("log prev lsn");
+  prev_lsn = v;
+  Slice s;
+  switch (type) {
+    case LogRecordType::kUpdate: {
+      uint32_t pid;
+      if (!GetFixed32(&in, &pid)) return Status::Corruption("log page id");
+      page_id = pid;
+      if (in.empty()) return Status::Corruption("log op");
+      op = static_cast<PageOp>(static_cast<uint8_t>(in[0]));
+      in.remove_prefix(1);
+      if (!GetLengthPrefixedSlice(&in, &s)) {
+        return Status::Corruption("log redo");
+      }
+      redo.assign(s.data(), s.size());
+      if (in.empty()) return Status::Corruption("log undo op");
+      undo_op = static_cast<PageOp>(static_cast<uint8_t>(in[0]));
+      in.remove_prefix(1);
+      if (!GetLengthPrefixedSlice(&in, &s)) {
+        return Status::Corruption("log undo");
+      }
+      undo.assign(s.data(), s.size());
+      break;
+    }
+    case LogRecordType::kClr: {
+      uint32_t pid;
+      if (!GetFixed32(&in, &pid)) return Status::Corruption("clr page id");
+      page_id = pid;
+      if (in.empty()) return Status::Corruption("clr op");
+      op = static_cast<PageOp>(static_cast<uint8_t>(in[0]));
+      in.remove_prefix(1);
+      if (!GetLengthPrefixedSlice(&in, &s)) {
+        return Status::Corruption("clr redo");
+      }
+      redo.assign(s.data(), s.size());
+      if (!GetVarint64(&in, &v)) return Status::Corruption("clr undo next");
+      undo_next = v;
+      break;
+    }
+    case LogRecordType::kBegin:
+    case LogRecordType::kCheckpointBegin:
+    case LogRecordType::kCheckpointEnd:
+      if (!GetLengthPrefixedSlice(&in, &s)) {
+        return Status::Corruption("log misc");
+      }
+      misc.assign(s.data(), s.size());
+      break;
+    case LogRecordType::kCommit:
+    case LogRecordType::kAbort:
+    case LogRecordType::kEnd:
+      break;
+    default:
+      return Status::Corruption("unknown log record type");
+  }
+  return Status::OK();
+}
+
+LogRecord MakeBegin(TxnId txn, bool is_system) {
+  LogRecord r;
+  r.type = LogRecordType::kBegin;
+  r.txn_id = txn;
+  r.prev_lsn = kInvalidLsn;
+  r.misc.push_back(is_system ? static_cast<char>(kBeginFlagSystem) : 0);
+  return r;
+}
+
+LogRecord MakeCommit(TxnId txn, Lsn prev) {
+  LogRecord r;
+  r.type = LogRecordType::kCommit;
+  r.txn_id = txn;
+  r.prev_lsn = prev;
+  return r;
+}
+
+LogRecord MakeAbort(TxnId txn, Lsn prev) {
+  LogRecord r;
+  r.type = LogRecordType::kAbort;
+  r.txn_id = txn;
+  r.prev_lsn = prev;
+  return r;
+}
+
+LogRecord MakeEnd(TxnId txn, Lsn prev) {
+  LogRecord r;
+  r.type = LogRecordType::kEnd;
+  r.txn_id = txn;
+  r.prev_lsn = prev;
+  return r;
+}
+
+}  // namespace pitree

@@ -1,0 +1,103 @@
+#ifndef PITREE_WAL_LOG_RECORD_H_
+#define PITREE_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace pitree {
+
+/// Log record kinds. Transactions and atomic actions (§4.3.2: atomic actions
+/// are identified to the recovery manager as system transactions) share the
+/// same record kinds; a flag on kBegin distinguishes them.
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,       // commit/end of a user txn or atomic action
+  kAbort = 3,        // rollback has been decided; undo follows
+  kEnd = 4,          // rollback complete
+  kUpdate = 5,       // page update with redo + undo information
+  kClr = 6,          // compensation record: redo-only, carries undo_next
+  kCheckpointBegin = 7,
+  kCheckpointEnd = 8,  // carries ATT + DPT
+};
+
+/// Page-level operations carried by kUpdate/kClr records. Each touches
+/// exactly one page, so redo needs only the page-LSN test and undo is
+/// page-oriented. The semantics live with the owning module; recovery
+/// dispatches through ApplyPageRedo() (see wal/page_ops.h).
+enum class PageOp : uint8_t {
+  kNone = 0,
+  // Π-tree node ops (pitree/node_page.cc)
+  kNodeFormat = 1,     // initialize an empty tree node
+  kNodeInsert = 2,     // insert one entry (key, value)
+  kNodeDelete = 3,     // delete one entry (key); payload carries old value
+  kNodeUpdate = 4,     // replace value of an entry
+  kNodeSplitApply = 5, // remove moved entries + install sibling term (source)
+  kNodeBulkLoad = 6,   // append a batch of entries (split target)
+  kNodeSetMeta = 7,    // change high key / side pointer / level metadata
+  kNodeUnsplit = 8,    // undo of kNodeSplitApply: restore entries + meta
+  kNodeBulkErase = 9,  // undo of kNodeBulkLoad: remove a batch of entries
+  // space map ops (storage/space_map.cc)
+  kSmFormat = 16,
+  kSmSet = 17,   // mark page allocated
+  kSmClear = 18, // mark page free
+  // Logical undo markers (never applied as redo). Used as the undo_op of a
+  // data-node record when the recovery method is NOT page-oriented (§4.2):
+  // undo locates the key by re-traversing the tree, because a committed
+  // structure change may have moved the record to another page.
+  kLogicalInsertUndo = 40,  // undo of an insert: logically delete the key
+  kLogicalDeleteUndo = 41,  // undo of a delete: logically re-insert
+  kLogicalUpdateUndo = 42,  // undo of an update: logically restore the value
+};
+
+inline bool IsLogicalUndoOp(PageOp op) {
+  return op == PageOp::kLogicalInsertUndo ||
+         op == PageOp::kLogicalDeleteUndo ||
+         op == PageOp::kLogicalUpdateUndo;
+}
+
+/// Flags stored in a kBegin record.
+inline constexpr uint8_t kBeginFlagSystem = 0x1;  // atomic action
+
+/// In-memory form of one log record. Encoded/decoded to the byte payload
+/// framed by WalManager.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  TxnId txn_id = kInvalidTxnId;
+  Lsn prev_lsn = kInvalidLsn;
+
+  // kUpdate / kClr:
+  PageId page_id = kInvalidPageId;
+  PageOp op = PageOp::kNone;
+  std::string redo;       // payload applied by redo
+  PageOp undo_op = PageOp::kNone;
+  std::string undo;       // payload whose redo-application undoes this record
+  Lsn undo_next = kInvalidLsn;  // kClr: next record of this txn to undo
+
+  // kBegin flags / kCheckpointEnd tables.
+  std::string misc;
+
+  // Filled by the reader / appender, not serialized inside the payload.
+  Lsn lsn = kInvalidLsn;
+  // Filled by readers: LSN of the record following this one.
+  Lsn next_lsn = kInvalidLsn;
+
+  /// Serializes to `dst` (appends).
+  void EncodeTo(std::string* dst) const;
+
+  /// Parses from `payload`. Returns Corruption on malformed input.
+  Status DecodeFrom(Slice payload);
+};
+
+/// Helpers for constructing common records.
+LogRecord MakeBegin(TxnId txn, bool is_system);
+LogRecord MakeCommit(TxnId txn, Lsn prev);
+LogRecord MakeAbort(TxnId txn, Lsn prev);
+LogRecord MakeEnd(TxnId txn, Lsn prev);
+
+}  // namespace pitree
+
+#endif  // PITREE_WAL_LOG_RECORD_H_

@@ -1,0 +1,67 @@
+#ifndef PITREE_WAL_WAL_MANAGER_H_
+#define PITREE_WAL_WAL_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "env/env.h"
+#include "wal/log_record.h"
+
+namespace pitree {
+
+/// Write-ahead log appender.
+///
+/// LSNs are byte offsets of record frames in the log file. Records are
+/// buffered in memory and written+synced by Flush(). The WAL protocol is
+/// enforced by the buffer pool calling Flush(page_lsn) before a dirty page
+/// write; transaction commit calls Flush(commit_lsn) (group force). Atomic
+/// actions do NOT force the log at their end — §4.3.1's "relative
+/// durability": their records become durable with the next forced flush.
+class WalManager {
+ public:
+  WalManager() = default;
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Opens/creates the log file and positions the append point after the
+  /// last complete record.
+  Status Open(Env* env, const std::string& path);
+
+  /// Appends a record, assigning and returning its LSN via `*lsn`.
+  Status Append(const LogRecord& rec, Lsn* lsn);
+
+  /// Makes every record with LSN <= `lsn` durable.
+  Status Flush(Lsn lsn);
+
+  /// Random-access read of the record at `lsn`, whether it has been flushed
+  /// to the file or still sits in the append buffer. Undo walks chains
+  /// through this (rollback may need records that were never forced).
+  Status ReadRecord(Lsn lsn, LogRecord* rec) const;
+
+  /// Makes everything appended so far durable.
+  Status FlushAll();
+
+  /// First LSN that has NOT been made durable.
+  Lsn durable_lsn() const;
+
+  /// LSN that the next Append() will assign.
+  Lsn next_lsn() const;
+
+  /// Number of physical sync operations issued (bench instrumentation).
+  uint64_t flush_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unique_ptr<File> file_;
+  std::string pending_;     // encoded frames not yet written
+  Lsn pending_base_ = 0;    // file offset where pending_ begins
+  Lsn durable_ = 0;         // all bytes below this offset are synced
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_WAL_WAL_MANAGER_H_

@@ -1,0 +1,235 @@
+// Tests for the two comparison systems of experiment E1: the lock-coupling
+// B+-tree and the serial-SMO B-link tree. Both must be functionally correct
+// — the experiments compare their concurrency, not their semantics.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baseline/lc_btree.h"
+#include "baseline/serial_smo_tree.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "engine/page_alloc.h"
+#include "env/sim_env.h"
+
+namespace pitree {
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Options opts;
+    opts.buffer_pool_pages = 2048;
+    opts.consolidation_enabled = false;
+    ASSERT_TRUE(Database::Open(opts, &env_, "db", &db_).ok());
+    // Allocate immortal roots for the baseline trees directly.
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(EngineAllocPage(db_->context(), txn, &lc_root_).ok());
+    ASSERT_TRUE(EngineAllocPage(db_->context(), txn, &ss_root_).ok());
+    ASSERT_TRUE(db_->Commit(txn).ok());
+    ASSERT_TRUE(LcBTree::Create(db_->context(), lc_root_).ok());
+    ASSERT_TRUE(SerialSmoTree::Create(db_->context(), ss_root_).ok());
+    lc_ = std::make_unique<LcBTree>(db_->context(), lc_root_);
+    ss_ = std::make_unique<SerialSmoTree>(db_->context(), ss_root_);
+  }
+
+  SimEnv env_;
+  std::unique_ptr<Database> db_;
+  PageId lc_root_ = kInvalidPageId, ss_root_ = kInvalidPageId;
+  std::unique_ptr<LcBTree> lc_;
+  std::unique_ptr<SerialSmoTree> ss_;
+};
+
+TEST_F(BaselineTest, LcBTreeInsertGetDeleteRoundTrip) {
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(lc_->Insert(txn, "a", "1").ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  txn = db_->Begin();
+  std::string v;
+  ASSERT_TRUE(lc_->Get(txn, "a", &v).ok());
+  EXPECT_EQ(v, "1");
+  EXPECT_TRUE(lc_->Get(txn, "b", &v).IsNotFound());
+  db_->Commit(txn).ok();
+  txn = db_->Begin();
+  ASSERT_TRUE(lc_->Delete(txn, "a").ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  txn = db_->Begin();
+  EXPECT_TRUE(lc_->Get(txn, "a", &v).IsNotFound());
+  db_->Commit(txn).ok();
+}
+
+TEST_F(BaselineTest, LcBTreeManyInsertsSplitAndStaySearchable) {
+  std::string value(100, 'v');
+  for (int i = 0; i < 3000; ++i) {
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(lc_->Insert(txn, Key(i), value).ok()) << i;
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+  EXPECT_GT(lc_->stats().splits.load() + lc_->stats().root_grows.load(), 10u);
+  for (int i = 0; i < 3000; i += 41) {
+    Transaction* txn = db_->Begin();
+    std::string v;
+    ASSERT_TRUE(lc_->Get(txn, Key(i), &v).ok()) << i;
+    db_->Commit(txn).ok();
+  }
+  Transaction* txn = db_->Begin();
+  std::vector<NodeEntry> out;
+  ASSERT_TRUE(lc_->Scan(txn, Key(0), 5000, &out).ok());
+  db_->Commit(txn).ok();
+  ASSERT_EQ(out.size(), 3000u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].key, out[i].key);
+  }
+}
+
+TEST_F(BaselineTest, LcBTreeReverseAndRandomOrders) {
+  Random rnd(5);
+  std::map<std::string, std::string> model;
+  std::string value(64, 'r');
+  for (int i = 0; i < 2000; ++i) {
+    std::string key = Key(static_cast<int>(rnd.Uniform(100000)));
+    Transaction* txn = db_->Begin();
+    Status s = lc_->Insert(txn, key, value);
+    if (model.count(key)) {
+      EXPECT_TRUE(s.IsInvalidArgument());
+      db_->Abort(txn).ok();
+    } else {
+      ASSERT_TRUE(s.ok());
+      ASSERT_TRUE(db_->Commit(txn).ok());
+      model[key] = value;
+    }
+  }
+  Transaction* txn = db_->Begin();
+  std::vector<NodeEntry> out;
+  ASSERT_TRUE(lc_->Scan(txn, Key(0), model.size() + 1, &out).ok());
+  db_->Commit(txn).ok();
+  EXPECT_EQ(out.size(), model.size());
+}
+
+TEST_F(BaselineTest, LcBTreeConcurrentDisjointInserters) {
+  const int kThreads = 4, kPerThread = 500;
+  std::string value(64, 'c');
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Transaction* txn = db_->Begin();
+        Status s = lc_->Insert(txn, Key(t * 100000 + i), value);
+        if (s.ok()) {
+          if (!db_->Commit(txn).ok()) failures.fetch_add(1);
+        } else {
+          db_->Abort(txn).ok();
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    Transaction* txn = db_->Begin();
+    std::string v;
+    ASSERT_TRUE(lc_->Get(txn, Key(t * 100000 + kPerThread / 2), &v).ok());
+    db_->Commit(txn).ok();
+  }
+}
+
+TEST_F(BaselineTest, SerialSmoTreeBasicOperations) {
+  Transaction* txn = db_->Begin();
+  ASSERT_TRUE(ss_->Insert(txn, "a", "1").ok());
+  ASSERT_TRUE(db_->Commit(txn).ok());
+  txn = db_->Begin();
+  std::string v;
+  ASSERT_TRUE(ss_->Get(txn, "a", &v).ok());
+  EXPECT_EQ(v, "1");
+  db_->Commit(txn).ok();
+}
+
+TEST_F(BaselineTest, SerialSmoTreeSplitsUnderExclusiveLatch) {
+  std::string value(100, 's');
+  for (int i = 0; i < 2000; ++i) {
+    Transaction* txn = db_->Begin();
+    ASSERT_TRUE(ss_->Insert(txn, Key(i), value).ok()) << i;
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+  // Every structure change went through the exclusive tree latch.
+  EXPECT_GT(ss_->stats().smo_exclusive_acquires.load(), 5u);
+  std::string report;
+  ASSERT_TRUE(ss_->tree().CheckWellFormed(&report).ok()) << report;
+  for (int i = 0; i < 2000; i += 73) {
+    Transaction* txn = db_->Begin();
+    std::string v;
+    ASSERT_TRUE(ss_->Get(txn, Key(i), &v).ok()) << i;
+    db_->Commit(txn).ok();
+  }
+}
+
+TEST_F(BaselineTest, SerialSmoTreeConcurrentInserters) {
+  const int kThreads = 4, kPerThread = 400;
+  std::string value(80, 'z');
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Transaction* txn = db_->Begin();
+        Status s = ss_->Insert(txn, Key(t * 100000 + i), value);
+        if (s.ok()) {
+          if (!db_->Commit(txn).ok()) failures.fetch_add(1);
+        } else {
+          db_->Abort(txn).ok();
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::string report;
+  ASSERT_TRUE(ss_->tree().CheckWellFormed(&report).ok()) << report;
+}
+
+TEST_F(BaselineTest, AllThreeSystemsAgreeOnTheSameWorkload) {
+  // Same operations against Π-tree, lock-coupling, and serial-SMO trees:
+  // identical results (the experiments compare performance, not answers).
+  PiTree* pi = nullptr;
+  ASSERT_TRUE(db_->CreateIndex("pi", &pi).ok());
+  Random rnd(11);
+  std::string value(50, 'w');
+  for (int i = 0; i < 1200; ++i) {
+    std::string key = Key(static_cast<int>(rnd.Uniform(2000)));
+    Transaction* txn = db_->Begin();
+    Status s1 = pi->Insert(txn, key, value);
+    Status s2 = lc_->Insert(txn, key, value);
+    Status s3 = ss_->Insert(txn, key, value);
+    EXPECT_EQ(s1.ok(), s2.ok()) << key;
+    EXPECT_EQ(s1.ok(), s3.ok()) << key;
+    ASSERT_TRUE(db_->Commit(txn).ok());
+  }
+  for (int i = 0; i < 2000; i += 7) {
+    Transaction* txn = db_->Begin();
+    std::string v1, v2, v3;
+    Status s1 = pi->Get(txn, Key(i), &v1);
+    Status s2 = lc_->Get(txn, Key(i), &v2);
+    Status s3 = ss_->Get(txn, Key(i), &v3);
+    EXPECT_EQ(s1.ok(), s2.ok()) << i;
+    EXPECT_EQ(s1.ok(), s3.ok()) << i;
+    db_->Commit(txn).ok();
+  }
+}
+
+}  // namespace
+}  // namespace pitree

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "env/sim_env.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace pitree {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(disk_.Open(&env_, "db").ok());
+    pool_ = std::make_unique<BufferPool>(
+        &disk_, /*capacity=*/4, [this](Lsn lsn) {
+          wal_flushed_through_ = std::max(wal_flushed_through_, lsn);
+          return Status::OK();
+        });
+  }
+
+  SimEnv env_;
+  DiskManager disk_;
+  std::unique_ptr<BufferPool> pool_;
+  Lsn wal_flushed_through_ = 0;
+};
+
+TEST_F(BufferPoolTest, FetchZeroedGivesCleanPage) {
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPageZeroed(7, &h).ok());
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(h.data()[i], 0) << "byte " << i;
+  }
+  EXPECT_EQ(h.id(), 7u);
+}
+
+TEST_F(BufferPoolTest, DirtyPageSurvivesEvictionRoundTrip) {
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(2, &h).ok());
+    PageInitHeader(h.data(), 2, PageType::kTreeNode);
+    memcpy(h.data() + kPageHeaderSize, "payload", 7);
+    h.MarkDirty(/*lsn=*/123);
+  }
+  // Evict page 2 by filling the pool.
+  for (PageId id = 10; id < 16; ++id) {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(id, &h).ok());
+  }
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPage(2, &h).ok());
+  EXPECT_EQ(memcmp(h.data() + kPageHeaderSize, "payload", 7), 0);
+  EXPECT_EQ(h.page_lsn(), 123u);
+}
+
+TEST_F(BufferPoolTest, EvictionEnforcesWalBeforeData) {
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(2, &h).ok());
+    PageInitHeader(h.data(), 2, PageType::kTreeNode);
+    h.MarkDirty(/*lsn=*/999);
+  }
+  for (PageId id = 10; id < 16; ++id) {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(id, &h).ok());
+  }
+  EXPECT_GE(wal_flushed_through_, 999u);
+}
+
+TEST_F(BufferPoolTest, PinnedPagesAreNotEvicted) {
+  std::vector<PageHandle> pins(4);
+  for (PageId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(pool_->FetchPageZeroed(id, &pins[id]).ok());
+  }
+  PageHandle h;
+  Status s = pool_->FetchPageZeroed(99, &h);
+  EXPECT_TRUE(s.IsBusy()) << s.ToString();
+  pins[0].Reset();
+  EXPECT_TRUE(pool_->FetchPageZeroed(99, &h).ok());
+}
+
+TEST_F(BufferPoolTest, RepeatFetchHitsCache) {
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(3, &h).ok());
+  }
+  uint64_t misses = pool_->miss_count();
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPage(3, &h).ok());
+  EXPECT_EQ(pool_->miss_count(), misses);
+}
+
+TEST_F(BufferPoolTest, MarkDirtySetsPageLsnAndRecLsnOnce) {
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPageZeroed(5, &h).ok());
+  PageInitHeader(h.data(), 5, PageType::kTreeNode);
+  h.MarkDirty(100);
+  h.MarkDirty(200);  // recLSN must stay at first-dirtying LSN
+  EXPECT_EQ(h.page_lsn(), 200u);
+  auto dpt = pool_->DirtyPageTable();
+  ASSERT_EQ(dpt.size(), 1u);
+  EXPECT_EQ(dpt[0].first, 5u);
+  EXPECT_EQ(dpt[0].second, 100u);
+}
+
+TEST_F(BufferPoolTest, FlushAllClearsDirtyTable) {
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPageZeroed(5, &h).ok());
+  PageInitHeader(h.data(), 5, PageType::kTreeNode);
+  h.MarkDirty(100);
+  h.Reset();
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  EXPECT_TRUE(pool_->DirtyPageTable().empty());
+}
+
+TEST_F(BufferPoolTest, DiscardAllLosesUnflushedChanges) {
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(6, &h).ok());
+    PageInitHeader(h.data(), 6, PageType::kTreeNode);
+    memcpy(h.data() + kPageHeaderSize, "gone", 4);
+    h.MarkDirty(50);
+  }
+  pool_->DiscardAll();
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPage(6, &h).ok());
+  // Never flushed: disk image is still zeroes.
+  EXPECT_EQ(h.data()[kPageHeaderSize], 0);
+}
+
+TEST_F(BufferPoolTest, HandleMoveTransfersPin) {
+  PageHandle a;
+  ASSERT_TRUE(pool_->FetchPageZeroed(1, &a).ok());
+  PageHandle b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.id(), 1u);
+}
+
+}  // namespace
+}  // namespace pitree

@@ -1,0 +1,209 @@
+// Unit tests for the engine plumbing: space map, page-op dispatch,
+// LogAndApply, checkpoint encoding, and transaction manager behavior.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/database.h"
+#include "engine/log_apply.h"
+#include "engine/page_alloc.h"
+#include "engine/page_apply.h"
+#include "env/sim_env.h"
+#include "recovery/checkpoint.h"
+#include "storage/space_map.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+namespace {
+
+TEST(SpaceMapTest, FormatMarksMetadataPagesAllocated) {
+  std::unique_ptr<char[]> page(new char[kPageSize]());
+  PageInitHeader(page.get(), 0, PageType::kSpaceMap);
+  ASSERT_TRUE(
+      ApplySpaceMapRedo(PageOp::kSmFormat, "", page.get()).ok());
+  EXPECT_TRUE(SmIsAllocated(page.get(), kSpaceMapPage));
+  EXPECT_TRUE(SmIsAllocated(page.get(), kCatalogPage));
+  EXPECT_FALSE(SmIsAllocated(page.get(), kFirstAllocatablePage));
+}
+
+TEST(SpaceMapTest, SetClearRoundTrip) {
+  std::unique_ptr<char[]> page(new char[kPageSize]());
+  PageInitHeader(page.get(), 0, PageType::kSpaceMap);
+  ASSERT_TRUE(ApplySpaceMapRedo(PageOp::kSmFormat, "", page.get()).ok());
+  ASSERT_TRUE(
+      ApplySpaceMapRedo(PageOp::kSmSet, SmBitPayload(17), page.get()).ok());
+  EXPECT_TRUE(SmIsAllocated(page.get(), 17));
+  ASSERT_TRUE(
+      ApplySpaceMapRedo(PageOp::kSmClear, SmBitPayload(17), page.get()).ok());
+  EXPECT_FALSE(SmIsAllocated(page.get(), 17));
+}
+
+TEST(SpaceMapTest, FindFreeSkipsAllocatedAndWraps) {
+  std::unique_ptr<char[]> page(new char[kPageSize]());
+  PageInitHeader(page.get(), 0, PageType::kSpaceMap);
+  ASSERT_TRUE(ApplySpaceMapRedo(PageOp::kSmFormat, "", page.get()).ok());
+  EXPECT_EQ(SmFindFree(page.get(), 0), kFirstAllocatablePage);
+  ASSERT_TRUE(
+      ApplySpaceMapRedo(PageOp::kSmSet, SmBitPayload(2), page.get()).ok());
+  EXPECT_EQ(SmFindFree(page.get(), 0), 3u);
+  // Hint beyond: wraps around to the beginning.
+  EXPECT_EQ(SmFindFree(page.get(), 100), 100u);
+  ASSERT_TRUE(
+      ApplySpaceMapRedo(PageOp::kSmSet, SmBitPayload(100), page.get()).ok());
+  EXPECT_EQ(SmFindFree(page.get(), 100), 101u);
+}
+
+TEST(SpaceMapTest, RejectsOutOfRangePage) {
+  std::unique_ptr<char[]> page(new char[kPageSize]());
+  PageInitHeader(page.get(), 0, PageType::kSpaceMap);
+  ASSERT_TRUE(ApplySpaceMapRedo(PageOp::kSmFormat, "", page.get()).ok());
+  std::string payload = SmBitPayload(
+      static_cast<PageId>(SpaceMapCapacity() + 1));
+  EXPECT_TRUE(
+      ApplySpaceMapRedo(PageOp::kSmSet, payload, page.get()).IsCorruption());
+}
+
+TEST(PageApplyTest, DispatchesByOpRange) {
+  std::unique_ptr<char[]> page(new char[kPageSize]());
+  PageInitHeader(page.get(), 3, PageType::kTreeNode);
+  // Node op via dispatcher.
+  std::string fmt = NodeRef::FormatPayload(
+      0, 0, kBoundLowNegInf | kBoundHighPosInf, Slice(), Slice(),
+      kInvalidPageId);
+  EXPECT_TRUE(ApplyAnyRedo(PageOp::kNodeFormat, fmt, page.get()).ok());
+  // Unknown op rejected.
+  EXPECT_TRUE(ApplyAnyRedo(static_cast<PageOp>(99), "", page.get())
+                  .IsCorruption());
+  // Logical undo markers are never applied as redo.
+  EXPECT_TRUE(ApplyAnyRedo(PageOp::kLogicalInsertUndo, "", page.get())
+                  .IsCorruption());
+}
+
+TEST(CheckpointCodecTest, RoundTrip) {
+  CheckpointData data;
+  data.att.push_back({42, true, 1000, 900, false});
+  data.att.push_back({43, false, 2000, 0, true});
+  data.dpt.emplace_back(7, 500);
+  data.dpt.emplace_back(9, 600);
+  std::string encoded = EncodeCheckpoint(data);
+  CheckpointData decoded;
+  ASSERT_TRUE(DecodeCheckpoint(encoded, &decoded).ok());
+  ASSERT_EQ(decoded.att.size(), 2u);
+  EXPECT_EQ(decoded.att[0].txn_id, 42u);
+  EXPECT_TRUE(decoded.att[0].is_system);
+  EXPECT_EQ(decoded.att[0].last_lsn, 1000u);
+  EXPECT_EQ(decoded.att[1].txn_id, 43u);
+  EXPECT_TRUE(decoded.att[1].aborting);
+  ASSERT_EQ(decoded.dpt.size(), 2u);
+  EXPECT_EQ(decoded.dpt[1].first, 9u);
+  EXPECT_EQ(decoded.dpt[1].second, 600u);
+}
+
+TEST(CheckpointCodecTest, RejectsTruncation) {
+  CheckpointData data;
+  data.att.push_back({42, true, 1000, 900, false});
+  std::string encoded = EncodeCheckpoint(data);
+  encoded.resize(encoded.size() / 2);
+  CheckpointData decoded;
+  EXPECT_FALSE(DecodeCheckpoint(encoded, &decoded).ok());
+}
+
+class EngineFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Options opts;
+    opts.buffer_pool_pages = 64;
+    ASSERT_TRUE(Database::Open(opts, &env_, "db", &db_).ok());
+  }
+  SimEnv env_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(EngineFixture, AllocFreeAllocReusesPages) {
+  EngineContext* ctx = db_->context();
+  Transaction* txn = db_->Begin();
+  PageId a, b;
+  ASSERT_TRUE(EngineAllocPage(ctx, txn, &a).ok());
+  ASSERT_TRUE(EngineAllocPage(ctx, txn, &b).ok());
+  EXPECT_NE(a, b);
+  ASSERT_TRUE(EngineFreePage(ctx, txn, a).ok());
+  PageId c;
+  ASSERT_TRUE(EngineAllocPage(ctx, txn, &c).ok());
+  EXPECT_EQ(c, a);  // lowest free page is reused
+  ASSERT_TRUE(db_->Commit(txn).ok());
+}
+
+TEST_F(EngineFixture, AbortedAllocationIsReturned) {
+  EngineContext* ctx = db_->context();
+  Transaction* txn = db_->Begin();
+  PageId a;
+  ASSERT_TRUE(EngineAllocPage(ctx, txn, &a).ok());
+  ASSERT_TRUE(db_->Abort(txn).ok());
+  Transaction* txn2 = db_->Begin();
+  PageId b;
+  ASSERT_TRUE(EngineAllocPage(ctx, txn2, &b).ok());
+  EXPECT_EQ(b, a);  // the rollback freed the bit
+  db_->Abort(txn2).ok();
+}
+
+TEST_F(EngineFixture, ReadOnlyTransactionsLogNothing) {
+  PiTree* tree = nullptr;
+  ASSERT_TRUE(db_->CreateIndex("t", &tree).ok());
+  Transaction* w = db_->Begin();
+  ASSERT_TRUE(tree->Insert(w, "k", "v").ok());
+  ASSERT_TRUE(db_->Commit(w).ok());
+
+  Lsn before = db_->context()->wal->next_lsn();
+  Transaction* r = db_->Begin();
+  std::string v;
+  ASSERT_TRUE(tree->Get(r, "k", &v).ok());
+  ASSERT_TRUE(db_->Commit(r).ok());
+  EXPECT_EQ(db_->context()->wal->next_lsn(), before)
+      << "read-only transaction appended log records";
+}
+
+TEST_F(EngineFixture, AtomicActionCommitDoesNotForceTheLog) {
+  // §4.3.1 relative durability: an atomic action's commit leaves the log
+  // unflushed; the next user commit carries it out.
+  WalManager* wal = db_->context()->wal;
+  uint64_t flushes_before = wal->flush_count();
+  Transaction* action = db_->context()->txns->Begin(/*is_system=*/true);
+  PageId p;
+  ASSERT_TRUE(EngineAllocPage(db_->context(), action, &p).ok());
+  ASSERT_TRUE(db_->context()->txns->Commit(action).ok());
+  EXPECT_EQ(wal->flush_count(), flushes_before);
+
+  PiTree* tree = nullptr;
+  ASSERT_TRUE(db_->CreateIndex("t", &tree).ok());
+  Transaction* user = db_->Begin();
+  ASSERT_TRUE(tree->Insert(user, "k", "v").ok());
+  ASSERT_TRUE(db_->Commit(user).ok());
+  EXPECT_GT(wal->flush_count(), flushes_before);
+}
+
+TEST_F(EngineFixture, LogAndApplyStampsStateIdentifier) {
+  EngineContext* ctx = db_->context();
+  Transaction* txn = db_->Begin();
+  PageId pid;
+  ASSERT_TRUE(EngineAllocPage(ctx, txn, &pid).ok());
+  PageHandle h;
+  ASSERT_TRUE(ctx->pool->FetchPageZeroed(pid, &h).ok());
+  h.latch().AcquireX();
+  PageInitHeader(h.data(), pid, PageType::kTreeNode);
+  std::string fmt = NodeRef::FormatPayload(
+      0, 0, kBoundLowNegInf | kBoundHighPosInf, Slice(), Slice(),
+      kInvalidPageId);
+  Lsn before_lsn = h.page_lsn();
+  ASSERT_TRUE(LogAndApply(ctx, txn, h, PageOp::kNodeFormat, fmt,
+                          PageOp::kNone, "")
+                  .ok());
+  EXPECT_GT(h.page_lsn(), before_lsn);
+  EXPECT_EQ(h.page_lsn(), txn->last_lsn);
+  h.latch().ReleaseX();
+  h.Reset();
+  db_->Abort(txn).ok();
+}
+
+}  // namespace
+}  // namespace pitree

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "env/env.h"
+#include "env/sim_env.h"
+
+namespace pitree {
+namespace {
+
+TEST(SimEnvTest, WriteReadRoundTrip) {
+  SimEnv env;
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("a", &f).ok());
+  ASSERT_TRUE(f->Write(0, "hello").ok());
+  char buf[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(0, 5, &result, buf).ok());
+  EXPECT_EQ(result.ToString(), "hello");
+}
+
+TEST(SimEnvTest, ReadPastEofIsShort) {
+  SimEnv env;
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("a", &f).ok());
+  ASSERT_TRUE(f->Write(0, "abc").ok());
+  char buf[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(1, 10, &result, buf).ok());
+  EXPECT_EQ(result.ToString(), "bc");
+  ASSERT_TRUE(f->Read(100, 10, &result, buf).ok());
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(SimEnvTest, SparseWriteZeroFills) {
+  SimEnv env;
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("a", &f).ok());
+  ASSERT_TRUE(f->Write(4, "x").ok());
+  char buf[8];
+  Slice result;
+  ASSERT_TRUE(f->Read(0, 5, &result, buf).ok());
+  EXPECT_EQ(result.size(), 5u);
+  EXPECT_EQ(result[0], '\0');
+  EXPECT_EQ(result[4], 'x');
+}
+
+TEST(SimEnvTest, CrashDropsUnsyncedBytes) {
+  SimEnv env;
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("a", &f).ok());
+  ASSERT_TRUE(f->Write(0, "durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Write(7, " volatile").ok());
+  EXPECT_EQ(f->Size(), 16u);
+
+  env.Crash();
+
+  EXPECT_EQ(f->Size(), 7u);
+  char buf[32];
+  Slice result;
+  ASSERT_TRUE(f->Read(0, 32, &result, buf).ok());
+  EXPECT_EQ(result.ToString(), "durable");
+}
+
+TEST(SimEnvTest, CrashDropsOverwritesToo) {
+  SimEnv env;
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("a", &f).ok());
+  ASSERT_TRUE(f->Write(0, "AAAA").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Write(0, "BBBB").ok());
+  env.Crash();
+  char buf[8];
+  Slice result;
+  ASSERT_TRUE(f->Read(0, 4, &result, buf).ok());
+  EXPECT_EQ(result.ToString(), "AAAA");
+}
+
+TEST(SimEnvTest, FilesSurviveCrashAndReopen) {
+  SimEnv env;
+  {
+    std::unique_ptr<File> f;
+    ASSERT_TRUE(env.OpenFile("db", &f).ok());
+    ASSERT_TRUE(f->Write(0, "persisted").ok());
+    ASSERT_TRUE(f->Sync().ok());
+  }
+  env.Crash();
+  EXPECT_TRUE(env.FileExists("db"));
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("db", &f).ok());
+  char buf[16];
+  Slice result;
+  ASSERT_TRUE(f->Read(0, 9, &result, buf).ok());
+  EXPECT_EQ(result.ToString(), "persisted");
+}
+
+TEST(SimEnvTest, WriteFileAtomicIsDurable) {
+  SimEnv env;
+  ASSERT_TRUE(env.WriteFileAtomic("master", "checkpoint@42").ok());
+  env.Crash();
+  std::string data;
+  ASSERT_TRUE(env.ReadFileToString("master", &data).ok());
+  EXPECT_EQ(data, "checkpoint@42");
+}
+
+TEST(SimEnvTest, DeleteFile) {
+  SimEnv env;
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("tmp", &f).ok());
+  EXPECT_TRUE(env.FileExists("tmp"));
+  ASSERT_TRUE(env.DeleteFile("tmp").ok());
+  EXPECT_FALSE(env.FileExists("tmp"));
+}
+
+TEST(SimEnvTest, TruncateShrinksVolatileImage) {
+  SimEnv env;
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env.OpenFile("a", &f).ok());
+  ASSERT_TRUE(f->Write(0, "0123456789").ok());
+  ASSERT_TRUE(f->Truncate(4).ok());
+  EXPECT_EQ(f->Size(), 4u);
+}
+
+TEST(PosixEnvTest, RoundTripThroughRealFilesystem) {
+  Env* env = GetPosixEnv();
+  std::string path = ::testing::TempDir() + "/pitree_env_test_file";
+  env->DeleteFile(path);
+  {
+    std::unique_ptr<File> f;
+    ASSERT_TRUE(env->OpenFile(path, &f).ok());
+    ASSERT_TRUE(f->Write(0, "posix bytes").ok());
+    ASSERT_TRUE(f->Sync().ok());
+    EXPECT_EQ(f->Size(), 11u);
+  }
+  std::string data;
+  ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
+  EXPECT_EQ(data, "posix bytes");
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(PosixEnvTest, WriteFileAtomicReplaces) {
+  Env* env = GetPosixEnv();
+  std::string path = ::testing::TempDir() + "/pitree_env_test_atomic";
+  ASSERT_TRUE(env->WriteFileAtomic(path, "v1").ok());
+  ASSERT_TRUE(env->WriteFileAtomic(path, "v2-longer").ok());
+  std::string data;
+  ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
+  EXPECT_EQ(data, "v2-longer");
+  env->DeleteFile(path);
+}
+
+}  // namespace
+}  // namespace pitree

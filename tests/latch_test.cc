@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "storage/latch.h"
+
+namespace pitree {
+namespace {
+
+TEST(LatchTest, SharedAllowsManyReaders) {
+  Latch l;
+  l.AcquireS();
+  EXPECT_TRUE(l.TryAcquireS());
+  l.ReleaseS();
+  l.ReleaseS();
+}
+
+TEST(LatchTest, ExclusiveBlocksEverything) {
+  Latch l;
+  l.AcquireX();
+  EXPECT_FALSE(l.TryAcquireS());
+  EXPECT_FALSE(l.TryAcquireU());
+  EXPECT_FALSE(l.TryAcquireX());
+  l.ReleaseX();
+  EXPECT_TRUE(l.TryAcquireS());
+  l.ReleaseS();
+}
+
+TEST(LatchTest, UpdateCompatibleWithSharedOnly) {
+  Latch l;
+  l.AcquireU();
+  EXPECT_TRUE(l.TryAcquireS());   // S readers admitted alongside U
+  EXPECT_FALSE(l.TryAcquireU());  // second U conflicts
+  EXPECT_FALSE(l.TryAcquireX());  // X conflicts
+  l.ReleaseS();
+  l.ReleaseU();
+}
+
+TEST(LatchTest, SharedBlocksX) {
+  Latch l;
+  l.AcquireS();
+  EXPECT_FALSE(l.TryAcquireX());
+  l.ReleaseS();
+  EXPECT_TRUE(l.TryAcquireX());
+  l.ReleaseX();
+}
+
+TEST(LatchTest, PromoteWaitsForReadersToDrain) {
+  Latch l;
+  l.AcquireU();
+  l.AcquireS();
+  std::atomic<bool> promoted{false};
+  std::thread promoter([&] {
+    l.PromoteUToX();
+    promoted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(promoted.load());
+  // New readers must be refused while a promotion is pending, or the
+  // promoter could starve.
+  EXPECT_FALSE(l.TryAcquireS());
+  l.ReleaseS();
+  promoter.join();
+  EXPECT_TRUE(promoted.load());
+  EXPECT_FALSE(l.TryAcquireS());
+  l.ReleaseX();
+}
+
+TEST(LatchTest, DemoteXToUAdmitsReaders) {
+  Latch l;
+  l.AcquireX();
+  l.DemoteXToU();
+  EXPECT_TRUE(l.TryAcquireS());
+  l.ReleaseS();
+  l.ReleaseU();
+}
+
+TEST(LatchTest, ReleaseByModeDispatches) {
+  Latch l;
+  l.AcquireS();
+  l.Release(LatchMode::kShared);
+  l.AcquireU();
+  l.Release(LatchMode::kUpdate);
+  l.AcquireX();
+  l.Release(LatchMode::kExclusive);
+  EXPECT_TRUE(l.TryAcquireX());
+  l.ReleaseX();
+}
+
+TEST(LatchTest, WritersSerializeUnderContention) {
+  Latch l;
+  int counter = 0;
+  const int kThreads = 8, kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        l.AcquireX();
+        ++counter;  // data race iff X is not exclusive
+        l.ReleaseX();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+TEST(LatchTest, UPromotionSerializesReadModifyWrite) {
+  Latch l;
+  int value = 0;
+  const int kThreads = 4, kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        l.AcquireU();
+        int snapshot = value;  // U permits concurrent readers, no writers
+        l.PromoteUToX();
+        value = snapshot + 1;
+        l.ReleaseX();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(value, kThreads * kIters);
+}
+
+TEST(LatchTest, ReadersProgressAlongsideUHolder) {
+  Latch l;
+  l.AcquireU();
+  std::atomic<int> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      l.AcquireS();
+      reads.fetch_add(1);
+      l.ReleaseS();
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(reads.load(), 4);
+  l.ReleaseU();
+}
+
+}  // namespace
+}  // namespace pitree

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace pitree {
+namespace {
+
+Transaction MakeTxn(TxnId id) {
+  Transaction t;
+  t.id = id;
+  return t;
+}
+
+TEST(LockModeTest, CompatibilityMatrixMatchesPaper) {
+  using M = LockMode;
+  // §4.1.1: S shares with S and U; U conflicts with U and X.
+  EXPECT_TRUE(LockModesCompatible(M::kS, M::kS));
+  EXPECT_TRUE(LockModesCompatible(M::kS, M::kU));
+  EXPECT_FALSE(LockModesCompatible(M::kS, M::kX));
+  EXPECT_FALSE(LockModesCompatible(M::kU, M::kU));
+  EXPECT_FALSE(LockModesCompatible(M::kU, M::kX));
+  EXPECT_FALSE(LockModesCompatible(M::kX, M::kX));
+  // §4.2.2: move locks are compatible with readers, conflict with updates.
+  EXPECT_TRUE(LockModesCompatible(M::kM, M::kS));
+  EXPECT_TRUE(LockModesCompatible(M::kM, M::kIS));
+  EXPECT_FALSE(LockModesCompatible(M::kM, M::kIU));
+  EXPECT_FALSE(LockModesCompatible(M::kM, M::kU));
+  EXPECT_FALSE(LockModesCompatible(M::kM, M::kX));
+  EXPECT_FALSE(LockModesCompatible(M::kM, M::kM));
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  Transaction a = MakeTxn(1), b = MakeTxn(2);
+  EXPECT_TRUE(lm.Lock(&a, "r", LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(&b, "r", LockMode::kS).ok());
+  lm.ReleaseAll(&a);
+  lm.ReleaseAll(&b);
+}
+
+TEST(LockManagerTest, NoWaitReturnsBusyOnConflict) {
+  LockManager lm;
+  Transaction a = MakeTxn(1), b = MakeTxn(2);
+  ASSERT_TRUE(lm.Lock(&a, "r", LockMode::kX).ok());
+  EXPECT_TRUE(lm.Lock(&b, "r", LockMode::kS, /*wait=*/false).IsBusy());
+  lm.ReleaseAll(&a);
+  EXPECT_TRUE(lm.Lock(&b, "r", LockMode::kS, /*wait=*/false).ok());
+  lm.ReleaseAll(&b);
+}
+
+TEST(LockManagerTest, WaiterProceedsAfterRelease) {
+  LockManager lm;
+  Transaction a = MakeTxn(1), b = MakeTxn(2);
+  ASSERT_TRUE(lm.Lock(&a, "r", LockMode::kX).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    EXPECT_TRUE(lm.Lock(&b, "r", LockMode::kX).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  lm.ReleaseAll(&a);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  lm.ReleaseAll(&b);
+}
+
+TEST(LockManagerTest, ReacquireSameModeIsNoop) {
+  LockManager lm;
+  Transaction a = MakeTxn(1);
+  ASSERT_TRUE(lm.Lock(&a, "r", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(&a, "r", LockMode::kS).ok());
+  EXPECT_EQ(a.held_locks.size(), 1u);
+  lm.ReleaseAll(&a);
+}
+
+TEST(LockManagerTest, ConversionSToXWhenAlone) {
+  LockManager lm;
+  Transaction a = MakeTxn(1);
+  ASSERT_TRUE(lm.Lock(&a, "r", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(&a, "r", LockMode::kX).ok());
+  EXPECT_EQ(a.held_locks.at("r"), LockMode::kX);
+  Transaction b = MakeTxn(2);
+  EXPECT_TRUE(lm.Lock(&b, "r", LockMode::kS, false).IsBusy());
+  lm.ReleaseAll(&a);
+}
+
+TEST(LockManagerTest, ConversionBlocksOnOtherHolder) {
+  LockManager lm;
+  Transaction a = MakeTxn(1), b = MakeTxn(2);
+  ASSERT_TRUE(lm.Lock(&a, "r", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Lock(&b, "r", LockMode::kS).ok());
+  EXPECT_TRUE(lm.Lock(&a, "r", LockMode::kX, /*wait=*/false).IsBusy());
+  lm.ReleaseAll(&b);
+  EXPECT_TRUE(lm.Lock(&a, "r", LockMode::kX, /*wait=*/false).ok());
+  lm.ReleaseAll(&a);
+}
+
+TEST(LockManagerTest, DeadlockDetectedAndVictimized) {
+  LockManager lm;
+  Transaction a = MakeTxn(1), b = MakeTxn(2);
+  ASSERT_TRUE(lm.Lock(&a, "r1", LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(&b, "r2", LockMode::kX).ok());
+  std::atomic<int> deadlocks{0};
+  std::thread t1([&] {
+    Status s = lm.Lock(&a, "r2", LockMode::kX);
+    if (s.IsDeadlock()) {
+      deadlocks.fetch_add(1);
+      lm.ReleaseAll(&a);
+    }
+  });
+  std::thread t2([&] {
+    Status s = lm.Lock(&b, "r1", LockMode::kX);
+    if (s.IsDeadlock()) {
+      deadlocks.fetch_add(1);
+      lm.ReleaseAll(&b);
+    }
+  });
+  t1.join();
+  t2.join();
+  // At least one side must have been chosen as the victim; the other then
+  // acquired its lock and still holds it.
+  EXPECT_GE(deadlocks.load(), 1);
+  EXPECT_GE(lm.deadlock_count(), 1u);
+  lm.ReleaseAll(&a);
+  lm.ReleaseAll(&b);
+}
+
+TEST(LockManagerTest, MoveLockAllowsReadersBlocksUpdaters) {
+  LockManager lm;
+  Transaction mover = MakeTxn(1), reader = MakeTxn(2), writer = MakeTxn(3);
+  std::string page = PageLockName(17);
+  ASSERT_TRUE(lm.Lock(&mover, page, LockMode::kM).ok());
+  EXPECT_TRUE(lm.Lock(&reader, page, LockMode::kIS, false).ok());
+  EXPECT_TRUE(lm.Lock(&writer, page, LockMode::kIU, false).IsBusy());
+  // WouldConflict is what traversals use to detect a move lock (§4.2.2).
+  EXPECT_TRUE(lm.WouldConflict(writer.id, page, LockMode::kIU));
+  EXPECT_FALSE(lm.WouldConflict(mover.id, page, LockMode::kIU));
+  lm.ReleaseAll(&mover);
+  EXPECT_FALSE(lm.WouldConflict(writer.id, page, LockMode::kIU));
+  EXPECT_TRUE(lm.Lock(&writer, page, LockMode::kIU, false).ok());
+  lm.ReleaseAll(&reader);
+  lm.ReleaseAll(&writer);
+}
+
+TEST(LockManagerTest, MoveWaitsForUpdatersToDrain) {
+  LockManager lm;
+  Transaction updater = MakeTxn(1), mover = MakeTxn(2);
+  std::string page = PageLockName(9);
+  ASSERT_TRUE(lm.Lock(&updater, page, LockMode::kIU).ok());
+  std::atomic<bool> moved{false};
+  std::thread t([&] {
+    EXPECT_TRUE(lm.Lock(&mover, page, LockMode::kM).ok());
+    moved.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(moved.load());  // §4.2.2: the move waits for updaters
+  lm.ReleaseAll(&updater);
+  t.join();
+  EXPECT_TRUE(moved.load());
+  lm.ReleaseAll(&mover);
+}
+
+TEST(LockManagerTest, UnlockSingleResourceEarly) {
+  LockManager lm;
+  Transaction a = MakeTxn(1), b = MakeTxn(2);
+  ASSERT_TRUE(lm.Lock(&a, "r1", LockMode::kX).ok());
+  ASSERT_TRUE(lm.Lock(&a, "r2", LockMode::kX).ok());
+  lm.Unlock(&a, "r1");
+  EXPECT_TRUE(lm.Lock(&b, "r1", LockMode::kX, false).ok());
+  EXPECT_TRUE(lm.Lock(&b, "r2", LockMode::kX, false).IsBusy());
+  lm.ReleaseAll(&a);
+  lm.ReleaseAll(&b);
+}
+
+TEST(LockManagerTest, ManyThreadsManyResourcesNoLostGrants) {
+  LockManager lm;
+  const int kThreads = 8, kIters = 200;
+  std::atomic<int> counters[4] = {{0}, {0}, {0}, {0}};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Transaction txn = MakeTxn(100 + t);
+      for (int i = 0; i < kIters; ++i) {
+        std::string r = "res" + std::to_string(i % 4);
+        ASSERT_TRUE(lm.Lock(&txn, r, LockMode::kX).ok());
+        counters[i % 4].fetch_add(1);
+        lm.ReleaseAll(&txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(counters[i].load(), kThreads * kIters / 4);
+  }
+}
+
+}  // namespace
+}  // namespace pitree

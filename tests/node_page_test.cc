@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "pitree/node_page.h"
+#include "storage/page.h"
+
+namespace pitree {
+namespace {
+
+class NodePageTest : public ::testing::Test {
+ protected:
+  NodePageTest() : buf_(new char[kPageSize]()), node_(buf_.get()) {
+    PageInitHeader(buf_.get(), 7, PageType::kTreeNode);
+    std::string payload = NodeRef::FormatPayload(
+        0, 0, kBoundLowNegInf | kBoundHighPosInf, Slice(), Slice(),
+        kInvalidPageId);
+    EXPECT_TRUE(node_.ApplyFormat(payload).ok());
+  }
+
+  Status Insert(const std::string& k, const std::string& v) {
+    return node_.ApplyInsert(NodeRef::InsertPayload(k, v));
+  }
+
+  std::unique_ptr<char[]> buf_;
+  NodeRef node_;
+};
+
+TEST_F(NodePageTest, FormatProducesEmptyUnboundedLeaf) {
+  EXPECT_EQ(node_.level(), 0);
+  EXPECT_TRUE(node_.is_leaf());
+  EXPECT_EQ(node_.entry_count(), 0);
+  EXPECT_TRUE(node_.low_is_neg_inf());
+  EXPECT_TRUE(node_.high_is_pos_inf());
+  EXPECT_EQ(node_.right_sibling(), kInvalidPageId);
+  EXPECT_TRUE(node_.DirectlyContains("anything"));
+}
+
+TEST_F(NodePageTest, InsertKeepsSortedOrder) {
+  ASSERT_TRUE(Insert("m", "1").ok());
+  ASSERT_TRUE(Insert("a", "2").ok());
+  ASSERT_TRUE(Insert("z", "3").ok());
+  ASSERT_TRUE(Insert("k", "4").ok());
+  ASSERT_EQ(node_.entry_count(), 4);
+  EXPECT_EQ(node_.EntryKey(0).ToString(), "a");
+  EXPECT_EQ(node_.EntryKey(1).ToString(), "k");
+  EXPECT_EQ(node_.EntryKey(2).ToString(), "m");
+  EXPECT_EQ(node_.EntryKey(3).ToString(), "z");
+  EXPECT_EQ(node_.EntryValue(1).ToString(), "4");
+}
+
+TEST_F(NodePageTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(Insert("a", "1").ok());
+  EXPECT_TRUE(Insert("a", "2").IsCorruption());
+}
+
+TEST_F(NodePageTest, FindSlotSemantics) {
+  ASSERT_TRUE(Insert("b", "1").ok());
+  ASSERT_TRUE(Insert("d", "2").ok());
+  bool found;
+  EXPECT_EQ(node_.FindSlot("a", &found), 0);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(node_.FindSlot("b", &found), 0);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(node_.FindSlot("c", &found), 1);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(node_.FindSlot("e", &found), 2);
+  EXPECT_FALSE(found);
+}
+
+TEST_F(NodePageTest, FindChildSlotPicksRightmostAtOrBelow) {
+  ASSERT_TRUE(Insert("b", "1").ok());
+  ASSERT_TRUE(Insert("d", "2").ok());
+  EXPECT_EQ(node_.FindChildSlot("a"), -1);
+  EXPECT_EQ(node_.FindChildSlot("b"), 0);
+  EXPECT_EQ(node_.FindChildSlot("c"), 0);
+  EXPECT_EQ(node_.FindChildSlot("d"), 1);
+  EXPECT_EQ(node_.FindChildSlot("zzz"), 1);
+}
+
+TEST_F(NodePageTest, DeleteAndUpdate) {
+  ASSERT_TRUE(Insert("a", "1").ok());
+  ASSERT_TRUE(Insert("b", "2").ok());
+  ASSERT_TRUE(node_.ApplyDelete(NodeRef::DeletePayload("a")).ok());
+  EXPECT_EQ(node_.entry_count(), 1);
+  EXPECT_TRUE(node_.ApplyDelete(NodeRef::DeletePayload("a")).IsCorruption());
+  ASSERT_TRUE(node_.ApplyUpdate(NodeRef::UpdatePayload("b", "99")).ok());
+  EXPECT_EQ(node_.EntryValue(0).ToString(), "99");
+  EXPECT_TRUE(node_.ApplyUpdate(NodeRef::UpdatePayload("x", "1"))
+                  .IsCorruption());
+}
+
+TEST_F(NodePageTest, FillUntilNoSpaceThenCompactionReclaimsFragments) {
+  std::string value(100, 'v');
+  int inserted = 0;
+  while (node_.CanFit(8, value.size())) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", inserted);
+    ASSERT_TRUE(Insert(key, value).ok());
+    ++inserted;
+  }
+  ASSERT_GT(inserted, 50);
+  // Delete every other key: frees space as fragments.
+  for (int i = 0; i < inserted; i += 2) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%06d", i);
+    ASSERT_TRUE(node_.ApplyDelete(NodeRef::DeletePayload(key)).ok());
+  }
+  // New inserts must succeed via compaction.
+  int extra = 0;
+  while (node_.CanFit(8, value.size()) && extra < inserted / 4) {
+    char key[16];
+    snprintf(key, sizeof(key), "x%06d", extra);
+    ASSERT_TRUE(Insert(key, value).ok());
+    ++extra;
+  }
+  EXPECT_GT(extra, 0);
+  // Order is still intact after compaction.
+  for (int i = 1; i < node_.entry_count(); ++i) {
+    EXPECT_LT(node_.EntryKey(i - 1).compare(node_.EntryKey(i)), 0);
+  }
+}
+
+TEST_F(NodePageTest, SplitApplyInstallsSiblingTerm) {
+  for (char k = 'a'; k <= 'f'; ++k) {
+    ASSERT_TRUE(Insert(std::string(1, k), "v").ok());
+  }
+  ASSERT_TRUE(node_.ApplySplit(NodeRef::SplitPayload("d", 42)).ok());
+  EXPECT_EQ(node_.entry_count(), 3);  // a b c
+  EXPECT_EQ(node_.right_sibling(), 42u);
+  EXPECT_FALSE(node_.high_is_pos_inf());
+  EXPECT_EQ(node_.high_key().ToString(), "d");
+  EXPECT_TRUE(node_.DirectlyContains("c"));
+  EXPECT_FALSE(node_.DirectlyContains("d"));
+  EXPECT_TRUE(node_.AtOrAboveLow("zzz"));  // still responsible (delegated)
+}
+
+TEST_F(NodePageTest, UnsplitImageRestoresExactState) {
+  for (char k = 'a'; k <= 'f'; ++k) {
+    ASSERT_TRUE(Insert(std::string(1, k), std::string(1, k)).ok());
+  }
+  std::string image = node_.ImagePayload();
+  ASSERT_TRUE(node_.ApplySplit(NodeRef::SplitPayload("c", 42)).ok());
+  ASSERT_TRUE(node_.ApplyRedo(PageOp::kNodeUnsplit, image).ok());
+  EXPECT_EQ(node_.entry_count(), 6);
+  EXPECT_TRUE(node_.high_is_pos_inf());
+  EXPECT_EQ(node_.right_sibling(), kInvalidPageId);
+  EXPECT_EQ(node_.EntryKey(5).ToString(), "f");
+}
+
+TEST_F(NodePageTest, BulkLoadAndErase) {
+  std::vector<NodeEntry> entries = {{"a", "1"}, {"c", "3"}, {"b", "2"}};
+  ASSERT_TRUE(node_.ApplyBulkLoad(NodeRef::BulkLoadPayload(entries)).ok());
+  EXPECT_EQ(node_.entry_count(), 3);
+  EXPECT_EQ(node_.EntryKey(0).ToString(), "a");
+  ASSERT_TRUE(node_.ApplyBulkErase(NodeRef::BulkErasePayload(entries)).ok());
+  EXPECT_EQ(node_.entry_count(), 0);
+}
+
+TEST_F(NodePageTest, SetMetaChangesBoundariesAndLevel) {
+  ASSERT_TRUE(Insert("m", "1").ok());
+  std::string meta = NodeRef::MetaPayload(3, kNodeFlagRoot, 0, "a", "z", 99);
+  ASSERT_TRUE(node_.ApplySetMeta(meta).ok());
+  EXPECT_EQ(node_.level(), 3);
+  EXPECT_TRUE(node_.is_root());
+  EXPECT_EQ(node_.low_key().ToString(), "a");
+  EXPECT_EQ(node_.high_key().ToString(), "z");
+  EXPECT_EQ(node_.right_sibling(), 99u);
+  EXPECT_EQ(node_.entry_count(), 1);  // entries preserved
+  EXPECT_EQ(node_.EntryValue(0).ToString(), "1");
+}
+
+TEST_F(NodePageTest, MetaRoundTripThroughSnapshot) {
+  ASSERT_TRUE(node_.ApplySetMeta(
+                       NodeRef::MetaPayload(2, 0, kBoundHighPosInf, "low",
+                                            Slice(), 5))
+                  .ok());
+  std::string snap = node_.MetaPayload();
+  ASSERT_TRUE(node_.ApplySetMeta(NodeRef::MetaPayload(1, 0, 0, "x", "y", 9))
+                  .ok());
+  ASSERT_TRUE(node_.ApplySetMeta(snap).ok());
+  EXPECT_EQ(node_.level(), 2);
+  EXPECT_EQ(node_.low_key().ToString(), "low");
+  EXPECT_TRUE(node_.high_is_pos_inf());
+  EXPECT_EQ(node_.right_sibling(), 5u);
+}
+
+TEST_F(NodePageTest, EntriesFromReturnsDelegatedSuffix) {
+  for (char k = 'a'; k <= 'e'; ++k) {
+    ASSERT_TRUE(Insert(std::string(1, k), "v").ok());
+  }
+  auto moved = node_.EntriesFrom("c");
+  ASSERT_EQ(moved.size(), 3u);
+  EXPECT_EQ(moved[0].key, "c");
+  EXPECT_EQ(moved[2].key, "e");
+}
+
+TEST_F(NodePageTest, IndexTermEncodeDecode) {
+  std::string v = EncodeIndexTerm(1234, kIndexEntryMultiParent);
+  IndexTerm term;
+  ASSERT_TRUE(DecodeIndexTerm(v, &term));
+  EXPECT_EQ(term.child, 1234u);
+  EXPECT_TRUE(term.flags & kIndexEntryMultiParent);
+  EXPECT_FALSE(DecodeIndexTerm("bad", &term));
+}
+
+TEST_F(NodePageTest, BoundaryPredicatesWithFiniteBounds) {
+  ASSERT_TRUE(node_.ApplySetMeta(NodeRef::MetaPayload(0, 0, 0, "b", "m", 3))
+                  .ok());
+  EXPECT_FALSE(node_.AtOrAboveLow("a"));
+  EXPECT_TRUE(node_.AtOrAboveLow("b"));
+  EXPECT_TRUE(node_.DirectlyContains("c"));
+  EXPECT_FALSE(node_.DirectlyContains("m"));
+  EXPECT_TRUE(node_.AtOrAboveLow("zzz"));
+  EXPECT_FALSE(node_.BelowHigh("zzz"));
+}
+
+TEST_F(NodePageTest, ApplyRedoDispatchRejectsForeignOps) {
+  EXPECT_TRUE(node_.ApplyRedo(PageOp::kSmSet, "").IsCorruption());
+}
+
+TEST_F(NodePageTest, StateIdentifierIsPageLsn) {
+  PageSetLsn(buf_.get(), 777);
+  EXPECT_EQ(node_.state_id(), 777u);
+}
+
+}  // namespace
+}  // namespace pitree

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/sim_env.h"
+#include "wal/log_reader.h"
+#include "wal/log_record.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+namespace {
+
+LogRecord MakeUpdate(TxnId txn, Lsn prev, PageId page, const std::string& redo,
+                     const std::string& undo) {
+  LogRecord r;
+  r.type = LogRecordType::kUpdate;
+  r.txn_id = txn;
+  r.prev_lsn = prev;
+  r.page_id = page;
+  r.op = PageOp::kNodeInsert;
+  r.redo = redo;
+  r.undo_op = PageOp::kNodeDelete;
+  r.undo = undo;
+  return r;
+}
+
+TEST(LogRecordTest, UpdateRoundTrip) {
+  LogRecord r = MakeUpdate(42, 1000, 7, "redo-bytes", "undo-bytes");
+  std::string buf;
+  r.EncodeTo(&buf);
+  LogRecord d;
+  ASSERT_TRUE(d.DecodeFrom(Slice(buf)).ok());
+  EXPECT_EQ(d.type, LogRecordType::kUpdate);
+  EXPECT_EQ(d.txn_id, 42u);
+  EXPECT_EQ(d.prev_lsn, 1000u);
+  EXPECT_EQ(d.page_id, 7u);
+  EXPECT_EQ(d.op, PageOp::kNodeInsert);
+  EXPECT_EQ(d.redo, "redo-bytes");
+  EXPECT_EQ(d.undo_op, PageOp::kNodeDelete);
+  EXPECT_EQ(d.undo, "undo-bytes");
+}
+
+TEST(LogRecordTest, ClrRoundTrip) {
+  LogRecord r;
+  r.type = LogRecordType::kClr;
+  r.txn_id = 9;
+  r.prev_lsn = 500;
+  r.page_id = 3;
+  r.op = PageOp::kNodeDelete;
+  r.redo = "compensation";
+  r.undo_next = 123;
+  std::string buf;
+  r.EncodeTo(&buf);
+  LogRecord d;
+  ASSERT_TRUE(d.DecodeFrom(Slice(buf)).ok());
+  EXPECT_EQ(d.type, LogRecordType::kClr);
+  EXPECT_EQ(d.undo_next, 123u);
+  EXPECT_EQ(d.redo, "compensation");
+}
+
+TEST(LogRecordTest, BeginCarriesSystemFlag) {
+  LogRecord r = MakeBegin(5, /*is_system=*/true);
+  std::string buf;
+  r.EncodeTo(&buf);
+  LogRecord d;
+  ASSERT_TRUE(d.DecodeFrom(Slice(buf)).ok());
+  ASSERT_EQ(d.misc.size(), 1u);
+  EXPECT_TRUE(d.misc[0] & kBeginFlagSystem);
+
+  LogRecord user = MakeBegin(6, /*is_system=*/false);
+  buf.clear();
+  user.EncodeTo(&buf);
+  ASSERT_TRUE(d.DecodeFrom(Slice(buf)).ok());
+  EXPECT_FALSE(d.misc[0] & kBeginFlagSystem);
+}
+
+TEST(LogRecordTest, DecodeRejectsGarbage) {
+  LogRecord d;
+  EXPECT_FALSE(d.DecodeFrom(Slice("")).ok());
+  std::string garbage = "\x05garbage-not-a-record";
+  EXPECT_FALSE(d.DecodeFrom(Slice(garbage)).ok());
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(wal_.Open(&env_, "wal").ok()); }
+  SimEnv env_;
+  WalManager wal_;
+};
+
+TEST_F(WalTest, AppendAssignsMonotonicLsns) {
+  Lsn a, b, c;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeUpdate(1, a, 2, "r", "u"), &b).ok());
+  ASSERT_TRUE(wal_.Append(MakeCommit(1, b), &c).ok());
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}
+
+TEST_F(WalTest, ReadBackAfterFlush) {
+  Lsn a, b;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeUpdate(1, a, 2, "redo", "undo"), &b).ok());
+  ASSERT_TRUE(wal_.FlushAll().ok());
+
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  LogReader reader(f.get());
+  LogRecord rec;
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kBegin);
+  EXPECT_EQ(rec.lsn, a);
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kUpdate);
+  EXPECT_EQ(rec.lsn, b);
+  EXPECT_EQ(rec.redo, "redo");
+  EXPECT_TRUE(reader.ReadNext(&rec).IsNotFound());
+}
+
+TEST_F(WalTest, FlushIsSelectiveByLsn) {
+  Lsn a;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Flush(a).ok());
+  uint64_t flushes = wal_.flush_count();
+  // Already durable: no further physical flush.
+  ASSERT_TRUE(wal_.Flush(a).ok());
+  EXPECT_EQ(wal_.flush_count(), flushes);
+}
+
+TEST_F(WalTest, CrashLosesUnflushedRecords) {
+  Lsn a, b;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Flush(a).ok());
+  ASSERT_TRUE(wal_.Append(MakeUpdate(1, a, 2, "r", "u"), &b).ok());
+  // No flush of b.
+  env_.Crash();
+
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  LogReader reader(f.get());
+  LogRecord rec;
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.lsn, a);
+  EXPECT_TRUE(reader.ReadNext(&rec).IsNotFound());
+}
+
+TEST_F(WalTest, ReopenPositionsAfterValidPrefixAndIgnoresTornTail) {
+  Lsn a;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.FlushAll().ok());
+  Lsn end = wal_.durable_lsn();
+
+  // Simulate a torn write: garbage bytes beyond the valid prefix.
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  ASSERT_TRUE(f->Write(end, "torn-garbage-bytes").ok());
+  ASSERT_TRUE(f->Sync().ok());
+
+  WalManager wal2;
+  ASSERT_TRUE(wal2.Open(&env_, "wal").ok());
+  EXPECT_EQ(wal2.next_lsn(), end);
+
+  // New appends after reopen are readable.
+  Lsn b;
+  ASSERT_TRUE(wal2.Append(MakeCommit(1, a), &b).ok());
+  ASSERT_TRUE(wal2.FlushAll().ok());
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  LogReader reader(f.get());
+  LogRecord rec;
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kCommit);
+  EXPECT_EQ(rec.lsn, b);
+}
+
+TEST_F(WalTest, ManyRecordsRoundTrip) {
+  std::vector<Lsn> lsns;
+  Lsn prev = kInvalidLsn;
+  for (int i = 0; i < 500; ++i) {
+    Lsn lsn;
+    ASSERT_TRUE(
+        wal_.Append(MakeUpdate(7, prev, i, std::string(i % 97, 'x'), "u"),
+                    &lsn)
+            .ok());
+    lsns.push_back(lsn);
+    prev = lsn;
+  }
+  ASSERT_TRUE(wal_.FlushAll().ok());
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  LogReader reader(f.get());
+  LogRecord rec;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(reader.ReadNext(&rec).ok()) << i;
+    EXPECT_EQ(rec.lsn, lsns[i]);
+    EXPECT_EQ(rec.page_id, static_cast<PageId>(i));
+    EXPECT_EQ(rec.redo.size(), static_cast<size_t>(i % 97));
+  }
+  EXPECT_TRUE(reader.ReadNext(&rec).IsNotFound());
+}
+
+TEST_F(WalTest, SeekSupportsChainWalking) {
+  Lsn a, b, c;
+  ASSERT_TRUE(wal_.Append(MakeBegin(3, true), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeUpdate(3, a, 1, "r1", "u1"), &b).ok());
+  ASSERT_TRUE(wal_.Append(MakeUpdate(3, b, 1, "r2", "u2"), &c).ok());
+  ASSERT_TRUE(wal_.FlushAll().ok());
+
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  LogReader reader(f.get());
+  LogRecord rec;
+  reader.Seek(c);
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.redo, "r2");
+  reader.Seek(rec.prev_lsn);
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.redo, "r1");
+  reader.Seek(rec.prev_lsn);
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kBegin);
+}
+
+}  // namespace
+}  // namespace pitree
