@@ -28,14 +28,15 @@ struct Result {
 Result RunOnce(uint64_t inserts, bool defer_postings) {
   Options opts;
   opts.buffer_pool_pages = 8192;
-  // Deferring postings to a background queue that we never drain leaves
-  // every split incomplete — the maximal population of intermediate states.
+  // Deferring postings to a background queue that no worker ever drains
+  // leaves every split incomplete — the maximal population of intermediate
+  // states.
   opts.inline_completion = !defer_postings;
+  opts.maintenance_workers = 0;
 
   SimEnv env;
   std::unique_ptr<Database> db;
   Database::Open(opts, &env, "bench", &db).ok();
-  if (defer_postings) db->completions()->StopBackground();
   PiTree* tree = nullptr;
   db->CreateIndex("t", &tree).ok();
   std::string value(kValueSize, 'v');

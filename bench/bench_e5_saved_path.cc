@@ -25,6 +25,11 @@ struct Result {
 Result Run(bool dealloc_is_update) {
   Options opts;
   opts.inline_completion = false;  // queue jobs instead of running them
+  // Keep queued jobs untouched until we replay them ourselves: no workers,
+  // and no dedup (replay wants the full job population, duplicates and all).
+  opts.maintenance_workers = 0;
+  opts.maintenance_dedup = false;
+  opts.maintenance_queue_capacity = 0;  // unbounded: replay must lose nothing
   opts.dealloc_is_node_update = dealloc_is_update;
   // A small pool makes re-traversal page fetches visible: the saved path's
   // value is skipping them (under strategy (b), skipping whole path
@@ -32,8 +37,6 @@ Result Run(bool dealloc_is_update) {
   // of in-node searches, which is the honest in-memory answer.
   opts.buffer_pool_pages = 96;
   BenchDb bdb(opts);
-  // Keep queued jobs untouched until we replay them ourselves.
-  bdb.db->completions()->StopBackground();
   PiTree* tree = nullptr;
   bdb.db->CreateIndex("t", &tree).ok();
   std::string value(kValueSize, 'v');
@@ -49,7 +52,7 @@ Result Run(bool dealloc_is_update) {
     tree->Insert(txn, BenchKey(rnd.Next() % 100000000), value).ok();
     bdb.db->Commit(txn).ok();
     if (i % 200 == 0 || i + 1 == kInserts) {
-      for (auto& job : bdb.db->completions()->TakeAll()) {
+      for (auto& job : bdb.db->maintenance()->TakeAll()) {
         jobs.push_back(job);
         tree->ExecuteJob(job).ok();
       }

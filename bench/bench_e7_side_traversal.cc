@@ -49,9 +49,11 @@ int main() {
 
   Options opts;
   opts.inline_completion = false;  // postings pile up in the queue
+  // No workers either: completions must pile up untouched, and none may be
+  // shed for capacity (the "after" phase drains every one of them).
+  opts.maintenance_workers = 0;
+  opts.maintenance_queue_capacity = 0;
   BenchDb bdb(opts);
-  // No background worker either: completions must pile up untouched.
-  bdb.db->completions()->StopBackground();
   PiTree* tree = nullptr;
   bdb.db->CreateIndex("t", &tree).ok();
   std::string value(kValueSize, 'v');
@@ -76,7 +78,7 @@ int main() {
 
   // Run the deferred completing actions (the searches above also scheduled
   // re-postings; Drain executes everything queued).
-  bdb.db->completions()->Drain();
+  bdb.db->maintenance()->Drain();
   Phase after = MeasureSearches(bdb.db.get(), tree, kKeySpace);
   PrintRow({"after completion", Fmt(after.side_per_search, 3),
             Fmt(after.us_per_search, 2)},

@@ -1,0 +1,131 @@
+// Experiment E8 — §5.1: completing atomic actions as schedulable hints.
+// The MaintenanceService exploits the hint freedoms (dedup, drop, execute-
+// by-anyone) to take posting/consolidation work off the foreground path.
+// Under a skewed insert workload (hot subtrees -> repeated detection of the
+// same unposted splits) we compare inline completion against background
+// pools of 1 and 4 workers: foreground throughput, queue behavior (depth
+// high-water, duplicate suppression, drops), and how much completion work
+// is left at the end (drain time, side traversals accumulated meanwhile).
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+
+namespace pitree {
+namespace bench {
+namespace {
+
+constexpr int kThreads = 4;
+constexpr uint64_t kPerThread = 6000;
+constexpr size_t kValueSize = 150;
+constexpr uint64_t kHotBuckets = 48;  // skewed bucket -> shared subtree
+
+struct Config {
+  const char* name;
+  bool inline_completion;
+  size_t workers;
+};
+
+struct Result {
+  double kops;
+  uint64_t max_depth, final_depth;
+  double dedup_pct;
+  uint64_t dropped;
+  uint64_t posts, obsolete, side_traversals;
+  double drain_ms;
+};
+
+Result RunOnce(const Config& cfg) {
+  Options opts;
+  opts.inline_completion = cfg.inline_completion;
+  opts.maintenance_workers = cfg.workers;
+  opts.buffer_pool_pages = 8192;
+  BenchDb bdb(opts);
+  PiTree* tree = nullptr;
+  bdb.db->CreateIndex("t", &tree).ok();
+
+  std::string value(kValueSize, 'v');
+  Timer t;
+  std::vector<std::thread> threads;
+  for (int th = 0; th < kThreads; ++th) {
+    threads.emplace_back([&, th] {
+      Random rnd(1000 + th);
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        // Skewed bucket picks the (hot) subtree; the sequence suffix keeps
+        // the key unique. Hot subtrees split repeatedly, and every traversal
+        // that crosses the same unposted side pointer re-submits the same
+        // posting job — the dedup case this experiment is about.
+        uint64_t bucket = rnd.Skewed(kHotBuckets);
+        uint64_t key = bucket * 1000000 + th * kPerThread + i;
+        for (int attempt = 0; attempt < 100; ++attempt) {
+          Transaction* txn = bdb.db->Begin();
+          Status s = tree->Insert(txn, BenchKey(key), value);
+          if (s.ok()) {
+            bdb.db->Commit(txn).ok();
+            break;
+          }
+          bdb.db->Abort(txn).ok();
+          if (!s.IsBusy() && !s.IsDeadlock()) break;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double secs = t.ElapsedSeconds();
+
+  Result r;
+  MaintenanceStats ms = bdb.db->maintenance()->StatsSnapshot();
+  r.kops = kThreads * kPerThread / secs / 1e3;
+  r.max_depth = ms.max_queue_depth;
+  r.final_depth = ms.queue_depth;
+  r.dedup_pct = ms.submitted ? 100.0 * ms.deduped / ms.submitted : 0.0;
+  r.dropped = ms.dropped;
+  r.side_traversals = tree->stats().side_traversals.load();
+  Timer dt;
+  bdb.db->maintenance()->Drain();
+  r.drain_ms = dt.ElapsedMillis();
+  r.posts = tree->stats().posts_performed.load();
+  r.obsolete = tree->stats().posts_obsolete.load();
+  return r;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pitree
+
+int main() {
+  using namespace pitree;
+  using namespace pitree::bench;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+  printf("E8: maintenance service under skewed concurrent inserts (§5.1)\n");
+  printf("(%d writer threads x %llu inserts, Zipf-hot buckets)\n\n", kThreads,
+         (unsigned long long)kPerThread);
+
+  const Config kConfigs[] = {
+      {"inline", true, 1},
+      {"background x1", false, 1},
+      {"background x4", false, 4},
+  };
+  PrintRow({"completion", "kops/s", "max_q", "end_q", "dedup%", "dropped",
+            "posts", "obsolete", "side_trav", "drain_ms"},
+           {16, 9, 8, 7, 8, 9, 8, 10, 11, 10});
+  for (const Config& cfg : kConfigs) {
+    Result r = RunOnce(cfg);
+    PrintRow({cfg.name, Fmt(r.kops, 1), FmtU(r.max_depth), FmtU(r.final_depth),
+              Fmt(r.dedup_pct, 1), FmtU(r.dropped), FmtU(r.posts),
+              FmtU(r.obsolete), FmtU(r.side_traversals), Fmt(r.drain_ms, 2)},
+             {16, 9, 8, 7, 8, 9, 8, 10, 11, 10});
+  }
+  printf("\nExpected shape: background completion keeps foreground throughput "
+         "at or above\ninline while the queue high-water stays bounded "
+         "(capacity + dedup); the skewed\nworkload makes dedup%% clearly "
+         "positive — repeated detections of the same unposted\nsplit collapse "
+         "into one queued hint. With 4 workers the queue drains during the\n"
+         "run (small end_q, near-zero drain_ms); obsolete counts verify-step "
+         "terminations\n(duplicate or already-posted hints ending harmlessly, "
+         "§5.3).\n");
+  return 0;
+}

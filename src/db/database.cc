@@ -53,10 +53,14 @@ Status Database::Init(const Options& options, Env* env,
   checkpoints_ = std::make_unique<CheckpointManager>(
       env, &wal_, pool_.get(), txns_.get(), name + ".master");
 
-  ctx_.completions = &completions_;
-  completions_.set_executor([this](const CompletionJob& job) {
-    TreeAt(job.tree_root)->ExecuteJob(job).ok();
+  maintenance_ = std::make_unique<MaintenanceService>(options);
+  ctx_.maintenance = maintenance_.get();
+  maintenance_->set_executor([this](const CompletionJob& job) {
+    return TreeAt(job.tree_root)->ExecuteJob(job);
   });
+  maintenance_->RegisterSweepTask("consolidation-scan",
+                                  [this] { SweepConsolidationTask(); });
+  maintenance_->RegisterSweepTask("wellformed-audit", [this] { AuditTask(); });
 
   // Crash recovery (a no-op for a fresh database with an empty log).
   PITREE_RETURN_IF_ERROR(recovery_->Run(stats));
@@ -103,14 +107,17 @@ Status Database::Init(const Options& options, Env* env,
   }
 
   catalog_ = std::make_unique<PiTree>(&ctx_, kCatalogPage);
-  if (!options.inline_completion) {
-    completions_.StartBackground();
+  if (!options.inline_completion ||
+      options.maintenance_sweep_interval_ms > 0) {
+    maintenance_->Start();
   }
   return Status::OK();
 }
 
 Database::~Database() {
-  completions_.StopBackground();
+  // Stop drains every queued completing action before joining the workers:
+  // a clean shutdown finishes scheduled maintenance instead of losing it.
+  maintenance_->Stop();
   // Best-effort clean shutdown; recovery handles anything missed.
   wal_.FlushAll().ok();
 }
@@ -253,8 +260,57 @@ Status Database::GetTsbIndex(const std::string& name, TsbTree** tree) {
 Status Database::Checkpoint() { return checkpoints_->TakeCheckpoint(); }
 
 Status Database::FlushAll() {
+  // Finish queued completing actions first so their effects are in the
+  // flushed image (they are hints, but a clean shutdown should not shed
+  // scheduled work onto the next incarnation's traversals).
+  maintenance_->Drain();
   PITREE_RETURN_IF_ERROR(wal_.FlushAll());
   return pool_->FlushAll();
+}
+
+std::vector<PiTree*> Database::SnapshotTrees() {
+  std::vector<PiTree*> out;
+  out.push_back(catalog_.get());
+  std::lock_guard<std::mutex> lk(trees_mu_);
+  for (auto& [root, tree] : trees_) out.push_back(tree.get());
+  return out;
+}
+
+void Database::SweepConsolidationTask() {
+  if (!ctx_.options.consolidation_enabled) return;
+  const size_t batch = ctx_.options.maintenance_sweep_batch;
+  if (batch == 0) return;
+  for (PiTree* tree : SnapshotTrees()) {
+    std::string cursor;
+    {
+      std::lock_guard<std::mutex> lk(maint_mu_);
+      cursor = sweep_cursors_[tree->root()];
+    }
+    size_t examined = 0, scheduled = 0;
+    tree->SweepForConsolidation(batch, &cursor, &examined, &scheduled).ok();
+    maintenance_->NoteSweep(examined, scheduled);
+    std::lock_guard<std::mutex> lk(maint_mu_);
+    sweep_cursors_[tree->root()] = cursor;
+  }
+}
+
+void Database::AuditTask() {
+  const size_t samples = ctx_.options.maintenance_audit_sample;
+  for (PiTree* tree : SnapshotTrees()) {
+    for (size_t i = 0; i < samples; ++i) {
+      std::string key;
+      {
+        std::lock_guard<std::mutex> lk(maint_mu_);
+        for (int b = 0; b < 8; ++b) {
+          key.push_back(static_cast<char>('a' + audit_rnd_.Uniform(26)));
+        }
+      }
+      size_t nodes = 0;
+      std::string report;
+      Status s = tree->AuditPath(key, &nodes, &report);
+      maintenance_->NoteAudit(1, nodes, s.ok() ? 0 : 1, report);
+    }
+  }
 }
 
 }  // namespace pitree

@@ -7,9 +7,11 @@
 #include <unordered_map>
 
 #include "common/options.h"
+#include "common/random.h"
 #include "common/status.h"
 #include "engine/engine_context.h"
 #include "env/env.h"
+#include "maintenance/maintenance_service.h"
 #include "pitree/pi_tree.h"
 #include "recovery/checkpoint.h"
 #include "recovery/recovery_manager.h"
@@ -61,11 +63,14 @@ class Database {
   // -- maintenance ----------------------------------------------------------
   /// Takes a fuzzy checkpoint (ATT + DPT + master record).
   Status Checkpoint();
-  /// Flushes WAL and all dirty pages (clean shutdown helper).
+  /// Drains pending background maintenance, then flushes WAL and all dirty
+  /// pages (clean shutdown helper).
   Status FlushAll();
 
   EngineContext* context() { return &ctx_; }
-  CompletionQueue* completions() { return &completions_; }
+  /// The background scheduler for all structure-maintenance work: sharded
+  /// completion queues, the consolidation sweeper, and the online auditor.
+  MaintenanceService* maintenance() { return maintenance_.get(); }
 
  private:
   Database() = default;
@@ -74,6 +79,10 @@ class Database {
   PiTree* TreeAt(PageId root);
   TsbTree* TsbAt(PageId root);
   Status LookupCatalog(const std::string& name, PageId* root, uint8_t* type);
+  /// All open Π-trees (catalog included) — the sweep tasks' working set.
+  std::vector<PiTree*> SnapshotTrees();
+  void SweepConsolidationTask();
+  void AuditTask();
 
   EngineContext ctx_;
   DiskManager disk_;
@@ -83,12 +92,16 @@ class Database {
   std::unique_ptr<TxnManager> txns_;
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<CheckpointManager> checkpoints_;
-  CompletionQueue completions_;
+  std::unique_ptr<MaintenanceService> maintenance_;
   std::unique_ptr<PiTree> catalog_;
 
   std::mutex trees_mu_;
   std::unordered_map<PageId, std::unique_ptr<PiTree>> trees_;
   std::unordered_map<PageId, std::unique_ptr<TsbTree>> tsb_trees_;
+
+  std::mutex maint_mu_;  // sweep cursors + audit RNG
+  std::unordered_map<PageId, std::string> sweep_cursors_;
+  Random audit_rnd_{0xA0D17};
 };
 
 }  // namespace pitree

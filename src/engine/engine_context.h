@@ -13,7 +13,7 @@ class BufferPool;
 class LockManager;
 class TxnManager;
 class RecoveryManager;
-class CompletionQueue;
+class MaintenanceService;
 
 /// Non-owning bundle of the engine's managers, passed to every component
 /// that needs cross-module services. Database (db/database.h) owns the
@@ -25,7 +25,7 @@ struct EngineContext {
   LockManager* locks = nullptr;
   TxnManager* txns = nullptr;
   RecoveryManager* recovery = nullptr;
-  CompletionQueue* completions = nullptr;
+  MaintenanceService* maintenance = nullptr;
   Options options;
 };
 

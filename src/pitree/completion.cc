@@ -2,13 +2,35 @@
 
 namespace pitree {
 
-void CompletionQueue::Enqueue(CompletionJob job) {
+CompletionQueue::Admit CompletionQueue::Enqueue(CompletionJob job) {
   {
     std::lock_guard<std::mutex> lk(mu_);
+    if (capacity_ != 0 && queue_.size() >= capacity_) {
+      // Dropping is safe: the job is a hint, and the next traversal that
+      // crosses the still-unposted side pointer re-schedules it (§5.1).
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return Admit::kDropped;
+    }
+    if (dedup_ && !keys_.insert(DedupKey(job)).second) {
+      deduped_.fetch_add(1, std::memory_order_relaxed);
+      return Admit::kDuplicate;
+    }
     queue_.push_back(std::move(job));
   }
-  enqueued_.fetch_add(1);
+  enqueued_.fetch_add(1, std::memory_order_relaxed);
   cv_.notify_one();
+  return Admit::kQueued;
+}
+
+bool CompletionQueue::PopFrontLocked(CompletionJob* out) {
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  // The dedup window closes at dequeue, not at completion: once execution
+  // begins, a freshly detected identical job reflects a *new* observation
+  // of the tree and must be admitted again.
+  if (dedup_) keys_.erase(DedupKey(*out));
+  return true;
 }
 
 void CompletionQueue::Drain() {
@@ -16,12 +38,10 @@ void CompletionQueue::Drain() {
     CompletionJob job;
     {
       std::lock_guard<std::mutex> lk(mu_);
-      if (queue_.empty()) return;
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      if (!PopFrontLocked(&job)) return;
     }
-    if (executor_) executor_(job);
-    executed_.fetch_add(1);
+    if (executor_) executor_(job).ok();
+    executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -30,7 +50,13 @@ std::vector<CompletionJob> CompletionQueue::TakeAll() {
   std::vector<CompletionJob> out(std::make_move_iterator(queue_.begin()),
                                  std::make_move_iterator(queue_.end()));
   queue_.clear();
+  keys_.clear();
   return out;
+}
+
+size_t CompletionQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
 }
 
 void CompletionQueue::StartBackground() {
@@ -42,32 +68,33 @@ void CompletionQueue::StartBackground() {
 }
 
 void CompletionQueue::StopBackground() {
+  std::thread worker;
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (!worker_running_) return;
     stop_ = true;
-  }
-  cv_.notify_all();
-  worker_.join();
-  {
-    std::lock_guard<std::mutex> lk(mu_);
+    worker = std::move(worker_);
     worker_running_ = false;
   }
+  cv_.notify_all();
+  // The worker drains the queue before exiting (see WorkerLoop): a clean
+  // stop never discards scheduled completing actions.
+  worker.join();
 }
 
 void CompletionQueue::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
+    // One predicate decides everything: sleep only while there is neither
+    // work nor a stop request. On stop the loop keeps consuming until the
+    // queue is empty, so shutdown drains instead of dropping.
+    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
     CompletionJob job;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      if (queue_.empty()) continue;
-      job = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    if (executor_) executor_(job);
-    executed_.fetch_add(1);
+    if (!PopFrontLocked(&job)) return;  // empty here implies stop_
+    lk.unlock();
+    if (executor_) executor_(job).ok();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    lk.lock();
   }
 }
 

@@ -9,8 +9,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 #include "pitree/path.h"
 
@@ -28,6 +30,7 @@ struct CompletionJob {
   uint8_t level = 0;       // level where the index term is to be posted, or
                            // the parent level for a consolidation
   PageId address = kInvalidPageId;  // new sibling node / under-utilized node
+  uint8_t attempts = 0;    // retry count (MaintenanceService backoff)
   std::string key;         // the search key that exposed the work
   SavedPath path;          // remembered path (verified before trust, §5.2)
 };
@@ -35,9 +38,20 @@ struct CompletionJob {
 /// Queue of completing atomic actions with an optional background worker.
 /// In inline mode (Options::inline_completion) trees execute their own
 /// pending jobs at the end of each operation and this queue is bypassed.
+///
+/// Because jobs are hints (§5.1), the queue may both *collapse duplicates*
+/// (two traversals crossing the same unposted side pointer describe the
+/// same work) and *drop* jobs when a capacity bound is hit (the next
+/// traversal to cross the pointer re-detects and re-schedules the work).
+/// Both policies are off by default; MaintenanceService turns them on.
 class CompletionQueue {
  public:
-  using Executor = std::function<void(const CompletionJob&)>;
+  /// Executors return the job's outcome; the queue itself treats every
+  /// outcome as final (retry policy lives in the caller's executor).
+  using Executor = std::function<Status(const CompletionJob&)>;
+
+  /// Outcome of Enqueue under the dedup / capacity policies.
+  enum class Admit : uint8_t { kQueued, kDuplicate, kDropped };
 
   CompletionQueue() = default;
   ~CompletionQueue() { StopBackground(); }
@@ -46,34 +60,63 @@ class CompletionQueue {
 
   void set_executor(Executor fn) { executor_ = std::move(fn); }
 
-  void Enqueue(CompletionJob job);
+  /// Bounds the number of queued jobs; Enqueue drops beyond it. 0 = no bound.
+  void set_capacity(size_t cap) { capacity_ = cap; }
+
+  /// Suppresses jobs whose (kind, level, address) matches a queued job.
+  void set_dedup(bool on) { dedup_ = on; }
+
+  Admit Enqueue(CompletionJob job);
 
   /// Runs queued jobs on the calling thread until the queue is empty.
   void Drain();
 
   /// Removes and returns every queued job without executing it (benchmarks
-  /// use this to replay completions under controlled conditions).
+  /// use this to replay completions under controlled conditions; crash
+  /// simulations use it to model the queue's volatility).
   std::vector<CompletionJob> TakeAll();
 
   /// Starts/stops a background worker thread that drains continuously.
+  /// StopBackground first drains every queued job on the worker: queued
+  /// completing actions survive a *clean* shutdown (only a crash may lose
+  /// them, which is safe — recovery-time traversals re-detect the work).
   void StartBackground();
   void StopBackground();
 
   uint64_t enqueued_count() const { return enqueued_.load(); }
   uint64_t executed_count() const { return executed_.load(); }
+  uint64_t deduped_count() const { return deduped_.load(); }
+  uint64_t dropped_count() const { return dropped_.load(); }
+
+  /// Number of jobs currently queued.
+  size_t depth() const;
 
  private:
+  static uint64_t DedupKey(const CompletionJob& job) {
+    return (static_cast<uint64_t>(job.kind) << 40) |
+           (static_cast<uint64_t>(job.level) << 32) |
+           static_cast<uint64_t>(job.address);
+  }
+
+  /// Pops the front job (and its dedup key) under mu_. False when empty.
+  bool PopFrontLocked(CompletionJob* out);
+
   void WorkerLoop();
 
   Executor executor_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<CompletionJob> queue_;
+  std::unordered_set<uint64_t> keys_;  // dedup index over queue_
   std::thread worker_;
   bool stop_ = false;
   bool worker_running_ = false;
+  size_t capacity_ = 0;
+  bool dedup_ = false;
   std::atomic<uint64_t> enqueued_{0};
   std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> deduped_{0};
+  std::atomic<uint64_t> dropped_{0};
 };
 
 }  // namespace pitree

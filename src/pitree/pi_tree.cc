@@ -4,6 +4,7 @@
 
 #include "common/coding.h"
 #include "engine/log_apply.h"
+#include "maintenance/maintenance_service.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
 #include "wal/wal_manager.h"
@@ -342,7 +343,7 @@ void PiTree::FlushPending(OpCtx* op) {
   if (op->pending.empty()) return;
   std::vector<CompletionJob> jobs;
   jobs.swap(op->pending);
-  if (ctx_->options.inline_completion || ctx_->completions == nullptr) {
+  if (ctx_->options.inline_completion || ctx_->maintenance == nullptr) {
     for (const auto& job : jobs) {
       // Completing actions are hints; their failure (e.g. Busy) only delays
       // optimization of the tree, never correctness (§5.1).
@@ -350,7 +351,9 @@ void PiTree::FlushPending(OpCtx* op) {
     }
   } else {
     for (auto& job : jobs) {
-      ctx_->completions->Enqueue(std::move(job));
+      // Submit may collapse the job into a queued duplicate or drop it for
+      // backpressure; both are safe for a hint (§5.1).
+      ctx_->maintenance->Submit(std::move(job));
     }
   }
 }

@@ -113,6 +113,22 @@ class PiTree {
   /// returns Corruption and, if `report` != nullptr, a description.
   Status CheckWellFormed(std::string* report) const;
 
+  // -- background maintenance entry points (MaintenanceService sweeps) -----
+  /// Idle consolidation scanner (§3.3): walks up to `max_nodes` data nodes
+  /// of the leaf side chain starting at `*cursor` (empty = leftmost) under
+  /// shared latches, scheduling consolidation for under-utilized nodes
+  /// without waiting for a traversal to trip over them. Advances `*cursor`
+  /// to the resume key; clears it when the walk wrapped past the last node.
+  Status SweepForConsolidation(size_t max_nodes, std::string* cursor,
+                               size_t* examined, size_t* scheduled);
+
+  /// Online well-formedness auditor: checks the §2.1.3 invariants along the
+  /// root-to-leaf path for `key` under shared latch coupling, safe against
+  /// live traffic (unlike CheckWellFormed, which requires quiescence).
+  /// Returns Corruption and a description on violation.
+  Status AuditPath(const Slice& key, size_t* nodes_checked,
+                   std::string* report) const;
+
   PageId root() const { return root_; }
   const PiTreeStats& stats() const { return stats_; }
 

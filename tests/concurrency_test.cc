@@ -31,14 +31,19 @@ struct Regime {
   bool consolidation;
   bool page_oriented;
   bool inline_completion;
+  size_t workers;
+  size_t sweep_interval_ms;  // 0 = no background sweeper/auditor
   const char* name;
 };
 
 const Regime kRegimes[] = {
-    {true, false, true, "CP_logical_inline"},
-    {false, false, true, "CNS_logical_inline"},
-    {true, true, true, "CP_pageoriented_inline"},
-    {true, false, false, "CP_logical_background"},
+    {true, false, true, 1, 0, "CP_logical_inline"},
+    {false, false, true, 1, 0, "CNS_logical_inline"},
+    {true, true, true, 1, 0, "CP_pageoriented_inline"},
+    {true, false, false, 1, 0, "CP_logical_background"},
+    // Sharded worker pool with the periodic sweep (idle consolidation
+    // scanner + online auditor) racing the foreground traffic.
+    {true, false, false, 4, 2, "CP_logical_pool4_sweep"},
 };
 
 class ConcurrencyTest : public ::testing::TestWithParam<Regime> {
@@ -48,9 +53,24 @@ class ConcurrencyTest : public ::testing::TestWithParam<Regime> {
     opts.consolidation_enabled = GetParam().consolidation;
     opts.page_oriented_undo = GetParam().page_oriented;
     opts.inline_completion = GetParam().inline_completion;
+    opts.maintenance_workers = GetParam().workers;
+    opts.maintenance_sweep_interval_ms = GetParam().sweep_interval_ms;
+    opts.maintenance_audit_sample = 4;
     opts.buffer_pool_pages = 2048;
     ASSERT_TRUE(Database::Open(opts, &env_, "db", &db_).ok());
     ASSERT_TRUE(db_->CreateIndex("t", &tree_).ok());
+  }
+
+  /// Quiesces background maintenance so CheckWellFormed may run. Also
+  /// asserts the auditor never saw an invariant violation in live traffic.
+  void SettleMaintenance() {
+    if (!GetParam().inline_completion || GetParam().sweep_interval_ms > 0) {
+      db_->maintenance()->Stop();
+      MaintenanceStats ms = db_->maintenance()->StatsSnapshot();
+      EXPECT_EQ(ms.queue_depth, 0u);
+      EXPECT_EQ(ms.audit_violations, 0u)
+          << db_->maintenance()->last_audit_violation();
+    }
   }
 
   SimEnv env_;
@@ -88,7 +108,7 @@ TEST_P(ConcurrencyTest, DisjointRangeInsertersDontInterfere) {
     });
   }
   for (auto& th : threads) th.join();
-  if (!GetParam().inline_completion) db_->completions()->Drain();
+  SettleMaintenance();
   EXPECT_EQ(failures.load(), 0);
   std::string report;
   ASSERT_TRUE(tree_->CheckWellFormed(&report).ok()) << report;
@@ -208,7 +228,7 @@ TEST_P(ConcurrencyTest, MixedWorkloadModelCheck) {
     });
   }
   for (auto& th : threads) th.join();
-  if (!GetParam().inline_completion) db_->completions()->Drain();
+  SettleMaintenance();
   ASSERT_TRUE(tree_->CheckWellFormed(&report).ok()) << report;
   for (int t = 0; t < kThreads; ++t) {
     for (const auto& [k, v] : models[t]) {
@@ -260,6 +280,7 @@ TEST_P(ConcurrencyTest, ReadersRunDuringSplitStorm) {
   }
   writer.join();
   for (auto& th : readers) th.join();
+  SettleMaintenance();
   EXPECT_GT(reads.load(), 100);
   std::string report;
   ASSERT_TRUE(tree_->CheckWellFormed(&report).ok()) << report;
@@ -292,7 +313,7 @@ TEST_P(ConcurrencyTest, ConcurrentDeletersAndConsolidation) {
     });
   }
   for (auto& th : threads) th.join();
-  if (!GetParam().inline_completion) db_->completions()->Drain();
+  SettleMaintenance();
   std::string report;
   ASSERT_TRUE(tree_->CheckWellFormed(&report).ok()) << report;
   Transaction* txn = db_->Begin();
