@@ -5,6 +5,8 @@
 
 namespace pitree {
 
+class FaultPlan;
+
 /// Engine-wide configuration. The flags select between the regimes the
 /// paper analyzes, so experiments can measure each choice.
 struct Options {
@@ -76,6 +78,12 @@ struct Options {
   /// Fraction of entries delegated on a split, in percent of the slot count
   /// (50 = split at the median).
   size_t split_point_pct = 50;
+
+  /// Deterministic fault-injection schedule (env/fault_plan.h), installed
+  /// into the Env at Open. Test-only: SimEnv honors it (injected I/O errors,
+  /// torn writes at crash, sync-point recording); environments backed by
+  /// real hardware ignore it. Not owned; must outlive the Database.
+  FaultPlan* fault_plan = nullptr;
 };
 
 }  // namespace pitree

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 
 namespace pitree {
 
@@ -38,6 +39,16 @@ class Random {
  private:
   uint64_t state_;
 };
+
+/// Seed for randomized tests: the PITREE_TEST_SEED environment variable
+/// when set (decimal or 0x-prefixed hex), else `fallback`. Tests announce
+/// the seed they ran with on failure (SCOPED_TRACE) so any failing run can
+/// be reproduced by exporting that value.
+inline uint64_t TestSeed(uint64_t fallback) {
+  const char* s = std::getenv("PITREE_TEST_SEED");
+  if (s == nullptr || *s == '\0') return fallback;
+  return std::strtoull(s, nullptr, 0);
+}
 
 inline uint64_t Random::Skewed(uint64_t n, double theta) {
   if (n <= 1) return 0;

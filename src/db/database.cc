@@ -20,6 +20,11 @@ Status Database::Init(const Options& options, Env* env,
                       const std::string& name, RecoveryStats* stats) {
   ctx_.options = options;
   ctx_.env = env;
+  if (options.fault_plan != nullptr) {
+    // Arm the fault schedule before the first file op so opening the log
+    // and recovering are themselves subject to injected faults.
+    env->InstallFaultPlan(options.fault_plan);
+  }
 
   PITREE_RETURN_IF_ERROR(disk_.Open(env, name + ".db"));
   PITREE_RETURN_IF_ERROR(wal_.Open(env, name + ".wal"));
@@ -67,10 +72,20 @@ Status Database::Init(const Options& options, Env* env,
 
   // Bootstrap if the metadata pages are not yet formatted. This runs inside
   // one atomic action, so a crash mid-bootstrap leaves nothing behind.
+  // Both metadata pages must be probed: a crash can cut the log between the
+  // space-map format and the catalog format (format records carry no undo,
+  // so rolling back the half-done action leaves the space map formatted),
+  // and keying freshness on the space map alone would then skip the
+  // bootstrap and hand out an unformatted catalog page. Re-running the
+  // bootstrap is safe in that state — nothing can have been allocated or
+  // cataloged before the bootstrap action committed.
   {
     PageHandle h;
     PITREE_RETURN_IF_ERROR(pool_->FetchPage(kSpaceMapPage, &h));
     bool fresh = PageGetType(h.data()) != PageType::kSpaceMap;
+    h.Reset();
+    PITREE_RETURN_IF_ERROR(pool_->FetchPage(kCatalogPage, &h));
+    fresh = fresh || PageGetType(h.data()) != PageType::kTreeNode;
     h.Reset();
     if (fresh) {
       Transaction* action = txns_->Begin(/*is_system=*/true);

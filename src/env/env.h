@@ -11,6 +11,8 @@
 
 namespace pitree {
 
+class FaultPlan;
+
 /// Random-access file handle. Writes are buffered by the underlying medium
 /// until Sync(); a crash may lose any unsynced byte (SimEnv models this
 /// precisely, PosixEnv inherits whatever the OS does).
@@ -55,6 +57,11 @@ class Env {
                                  const Slice& data) = 0;
   virtual Status ReadFileToString(const std::string& name,
                                   std::string* data) = 0;
+
+  /// Installs a deterministic fault-injection plan (env/fault_plan.h).
+  /// SimEnv honors it; environments backed by real hardware ignore it.
+  /// nullptr clears. The plan must outlive the env (tests own both).
+  virtual void InstallFaultPlan(FaultPlan* plan) { (void)plan; }
 };
 
 /// Returns the process-wide POSIX environment.

@@ -7,17 +7,27 @@ namespace pitree {
 
 namespace {
 
+/// Byte used for the unwritten remainder of a torn write when the plan asks
+/// for a garbage tail (a partially written sector's stale device contents).
+constexpr char kTornGarbageByte = '\xCD';
+
 class SimFile : public File {
  public:
-  SimFile(SimEnv* env, std::shared_ptr<SimEnv::FileState> state,
-          std::mutex* mu, uint64_t* sync_count)
-      : state_(std::move(state)), mu_(mu), sync_count_(sync_count) {
-    (void)env;
-  }
+  SimFile(SimEnv* env, std::string name,
+          std::shared_ptr<SimEnv::FileState> state, std::mutex* mu,
+          uint64_t* sync_count)
+      : env_(env),
+        name_(std::move(name)),
+        state_(std::move(state)),
+        mu_(mu),
+        sync_count_(sync_count) {}
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
     std::lock_guard<std::mutex> guard(*mu_);
+    if (FaultPlan* plan = env_->fault_plan()) {
+      PITREE_RETURN_IF_ERROR(plan->BeforeOp(FaultOp::kRead, name_));
+    }
     const std::string& img = state_->volatile_;
     if (offset >= img.size()) {
       *result = Slice(scratch, 0);
@@ -31,6 +41,9 @@ class SimFile : public File {
 
   Status Write(uint64_t offset, const Slice& data) override {
     std::lock_guard<std::mutex> guard(*mu_);
+    if (FaultPlan* plan = env_->fault_plan()) {
+      PITREE_RETURN_IF_ERROR(plan->BeforeOp(FaultOp::kWrite, name_));
+    }
     std::string& img = state_->volatile_;
     if (offset + data.size() > img.size()) {
       img.resize(offset + data.size(), '\0');
@@ -49,19 +62,34 @@ class SimFile : public File {
 
   Status Sync() override {
     std::lock_guard<std::mutex> guard(*mu_);
+    FaultPlan* plan = env_->fault_plan();
+    if (plan != nullptr) {
+      // A failed sync makes nothing durable; the dirty range stays armed so
+      // a retry (or a torn crash) still sees the in-flight bytes.
+      PITREE_RETURN_IF_ERROR(plan->BeforeOp(FaultOp::kSync, name_));
+    }
     SimEnv::FileState& st = *state_;
+    size_t delta_lo = st.dirty_lo;
+    size_t delta_hi = std::min(st.dirty_hi, st.volatile_.size());
     if (st.durable.size() != st.volatile_.size()) {
       st.durable.resize(st.volatile_.size(), '\0');
     }
     if (st.dirty_hi > st.dirty_lo) {
-      size_t hi = std::min(st.dirty_hi, st.volatile_.size());
-      if (hi > st.dirty_lo) {
-        memcpy(st.durable.data() + st.dirty_lo,
-               st.volatile_.data() + st.dirty_lo, hi - st.dirty_lo);
+      if (delta_hi > delta_lo) {
+        memcpy(st.durable.data() + delta_lo, st.volatile_.data() + delta_lo,
+               delta_hi - delta_lo);
       }
       st.dirty_lo = st.dirty_hi = 0;
     }
     ++*sync_count_;
+    if (plan != nullptr && plan->recording() && delta_hi > delta_lo) {
+      SyncEvent ev;
+      ev.file = name_;
+      ev.offset = delta_lo;
+      ev.bytes.assign(st.durable.data() + delta_lo, delta_hi - delta_lo);
+      ev.durable_size = st.durable.size();
+      plan->RecordEvent(std::move(ev));
+    }
     return Status::OK();
   }
 
@@ -78,11 +106,26 @@ class SimFile : public File {
     // is rare (log open), so the full copy at the next sync is fine.
     state_->dirty_lo = 0;
     state_->dirty_hi = state_->volatile_.size();
-    if (state_->durable.size() > size) state_->durable.resize(size);
+    if (state_->durable.size() > size) {
+      state_->durable.resize(size);
+      // Shrinking the durable image is itself a durability event: journal it
+      // so replaying the event stream reproduces the shrunken state.
+      if (FaultPlan* plan = env_->fault_plan()) {
+        if (plan->recording()) {
+          SyncEvent ev;
+          ev.file = name_;
+          ev.offset = size;
+          ev.durable_size = size;
+          plan->RecordEvent(std::move(ev));
+        }
+      }
+    }
     return Status::OK();
   }
 
  private:
+  SimEnv* env_;
+  const std::string name_;
   std::shared_ptr<SimEnv::FileState> state_;
   std::mutex* mu_;
   uint64_t* sync_count_;
@@ -97,7 +140,7 @@ Status SimEnv::OpenFile(const std::string& name,
   if (it == files_.end()) {
     it = files_.emplace(name, std::make_shared<FileState>()).first;
   }
-  file->reset(new SimFile(this, it->second, &mu_, &sync_count_));
+  file->reset(new SimFile(this, name, it->second, &mu_, &sync_count_));
   return Status::OK();
 }
 
@@ -114,28 +157,67 @@ Status SimEnv::DeleteFile(const std::string& name) {
 
 Status SimEnv::WriteFileAtomic(const std::string& name, const Slice& data) {
   std::lock_guard<std::mutex> guard(mu_);
+  // Atomic replace is durable by definition (models write-temp + fsync +
+  // rename on a real filesystem), so its durability point is a sync point.
+  if (fault_plan_ != nullptr) {
+    PITREE_RETURN_IF_ERROR(fault_plan_->BeforeOp(FaultOp::kSync, name));
+  }
   auto& state = files_[name];
   if (!state) state = std::make_shared<FileState>();
-  // Atomic replace is durable by definition (models write-temp + fsync +
-  // rename on a real filesystem).
   state->volatile_.assign(data.data(), data.size());
   state->durable = state->volatile_;
   state->dirty_lo = state->dirty_hi = 0;
   ++sync_count_;
+  if (fault_plan_ != nullptr && fault_plan_->recording()) {
+    SyncEvent ev;
+    ev.file = name;
+    ev.bytes.assign(data.data(), data.size());
+    ev.durable_size = data.size();
+    ev.atomic_replace = true;
+    fault_plan_->RecordEvent(std::move(ev));
+  }
   return Status::OK();
 }
 
 Status SimEnv::ReadFileToString(const std::string& name, std::string* data) {
   std::lock_guard<std::mutex> guard(mu_);
+  if (fault_plan_ != nullptr) {
+    PITREE_RETURN_IF_ERROR(fault_plan_->BeforeOp(FaultOp::kRead, name));
+  }
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound(name);
   *data = it->second->volatile_;
   return Status::OK();
 }
 
+void SimEnv::InstallFaultPlan(FaultPlan* plan) {
+  std::lock_guard<std::mutex> guard(mu_);
+  fault_plan_ = plan;
+}
+
 void SimEnv::Crash() {
   std::lock_guard<std::mutex> guard(mu_);
+  FaultPlan::TearSpec tear;
+  if (fault_plan_ != nullptr) tear = fault_plan_->TakeTearSpec();
   for (auto& [name, state] : files_) {
+    if (tear.armed && name.find(tear.file_substr) != std::string::npos &&
+        state->dirty_hi > state->dirty_lo) {
+      // Torn write: the in-flight range [dirty_lo, dirty_hi) was being
+      // pushed to the device when power failed. The first keep_bytes of it
+      // made it; optionally the rest of the range persists as garbage.
+      size_t lo = state->dirty_lo;
+      size_t hi = std::min(state->dirty_hi, state->volatile_.size());
+      size_t keep = std::min<uint64_t>(tear.keep_bytes, hi - lo);
+      if (lo + keep > state->durable.size()) {
+        state->durable.resize(lo + keep, '\0');
+      }
+      memcpy(state->durable.data() + lo, state->volatile_.data() + lo, keep);
+      if (tear.garbage_tail && hi > lo + keep) {
+        if (state->durable.size() < hi) state->durable.resize(hi, '\0');
+        memset(state->durable.data() + lo + keep, kTornGarbageByte,
+               hi - (lo + keep));
+      }
+    }
     state->volatile_ = state->durable;
     state->dirty_lo = state->dirty_hi = 0;
   }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "env/env.h"
+#include "env/fault_plan.h"
 
 namespace pitree {
 
@@ -18,6 +19,12 @@ namespace pitree {
 /// cache. This is the substrate for the crash-injection tests and for
 /// experiment E3: after Crash(), reopening the database runs real recovery
 /// against exactly the bytes a real crash would have left behind.
+///
+/// An installed FaultPlan extends the model with hostile storage: injected
+/// read/write/sync errors on a deterministic schedule, torn writes at
+/// Crash() (a prefix of the in-flight dirty range survives, optionally with
+/// a garbage tail), and a journal of every durability event so a driver can
+/// enumerate sync points and rebuild the crash state at each one.
 ///
 /// Files survive Crash() (it models power loss, not media failure) and
 /// SimEnv outlives the File handles it hands out.
@@ -35,11 +42,15 @@ class SimEnv : public Env {
   Status DeleteFile(const std::string& name) override;
   Status WriteFileAtomic(const std::string& name, const Slice& data) override;
   Status ReadFileToString(const std::string& name, std::string* data) override;
+  void InstallFaultPlan(FaultPlan* plan) override;
 
-  /// Simulates a power failure: every byte not covered by a Sync() vanishes.
+  /// Simulates a power failure: every byte not covered by a Sync() vanishes,
+  /// except for a prefix kept by an armed FaultPlan tear directive (a torn
+  /// write caught mid-sector by the power loss).
   void Crash();
 
-  /// Total bytes synced since construction (benchmark instrumentation).
+  /// Total number of sync operations since construction (each is one sync
+  /// point; benchmark instrumentation and crash-schedule enumeration).
   uint64_t sync_count() const;
 
   /// Internal per-file state; public so the File implementation (an
@@ -53,11 +64,15 @@ class SimEnv : public Env {
     size_t dirty_hi = 0;
   };
 
+  /// Installed fault plan (may be null). Read by SimFile with mu_ held.
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<FileState>> files_;
   uint64_t sync_count_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace pitree

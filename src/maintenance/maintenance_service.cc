@@ -49,6 +49,15 @@ Status MaintenanceService::ExecuteWithRetry(size_t shard,
                                             const CompletionJob& job) {
   if (!executor_) return Status::OK();
   Status s = executor_(job);
+  if (!s.ok() && !s.IsBusy() && !s.IsDeadlock() && !s.IsAborted()) {
+    // Terminal failure (typically the env returning I/O errors). The job is
+    // a hint, so shedding it is safe; count it and keep the worker alive so
+    // the pool drains and shuts down sanely even on dead storage.
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(sweep_mu_);
+    last_failure_ = s.ToString();
+    return s;
+  }
   if (s.IsBusy() || s.IsDeadlock() || s.IsAborted()) {
     // The action gave up on a latch/lock conflict. Without a retry the work
     // waits for the next traversal to re-detect it; with one it usually
@@ -193,6 +202,7 @@ MaintenanceStats MaintenanceService::StatsSnapshot() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.retries_exhausted = retries_exhausted_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
   s.max_queue_depth = max_depth_.load(std::memory_order_relaxed);
   s.sweep_cycles = sweep_cycles_.load(std::memory_order_relaxed);
   s.sweep_nodes_examined = sweep_examined_.load(std::memory_order_relaxed);
@@ -207,6 +217,11 @@ MaintenanceStats MaintenanceService::StatsSnapshot() const {
 std::string MaintenanceService::last_audit_violation() const {
   std::lock_guard<std::mutex> lk(sweep_mu_);
   return last_audit_violation_;
+}
+
+std::string MaintenanceService::last_failure() const {
+  std::lock_guard<std::mutex> lk(sweep_mu_);
+  return last_failure_;
 }
 
 }  // namespace pitree

@@ -29,6 +29,9 @@ struct MaintenanceStats {
   uint64_t executed = 0;    // jobs run (any outcome)
   uint64_t retries = 0;     // re-queued after a latch/lock conflict
   uint64_t retries_exhausted = 0;
+  uint64_t failed = 0;       // terminal non-conflict errors (e.g. env I/O
+                             // faults); the job is shed, not retried — safe
+                             // for hints, and the worker keeps running
   uint64_t queue_depth = 0;      // currently queued, all shards
   uint64_t max_queue_depth = 0;  // high-water mark of queue_depth
   // Periodic sweeps.
@@ -114,6 +117,10 @@ class MaintenanceService {
   /// (empty if none ever).
   std::string last_audit_violation() const;
 
+  /// Status message of the most recent terminal job failure (empty if none);
+  /// lets a failing-storage test see what the workers ran into.
+  std::string last_failure() const;
+
  private:
   size_t ShardFor(PageId address) const {
     return static_cast<size_t>(address) % shards_.size();
@@ -132,6 +139,7 @@ class MaintenanceService {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> retries_exhausted_{0};
+  std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> max_depth_{0};
   std::atomic<uint64_t> sweep_cycles_{0};
   std::atomic<uint64_t> sweep_examined_{0};
@@ -144,6 +152,7 @@ class MaintenanceService {
   std::condition_variable sweep_cv_;
   std::vector<std::pair<std::string, SweepTask>> sweep_tasks_;
   std::string last_audit_violation_;
+  std::string last_failure_;
   std::thread sweeper_;
   bool sweeper_running_ = false;
   bool sweeper_stop_ = false;

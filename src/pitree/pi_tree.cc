@@ -108,6 +108,15 @@ Status PiTree::MoveRight(OpCtx* op, const Slice& key, LatchMode mode,
                          PageHandle* cur) {
   const bool couple = ctx_->options.consolidation_enabled;  // CP vs CNS, §5.2
   for (;;) {
+    // Every node the traversal touches funnels through here; a page that is
+    // not a tree node means structural damage (e.g. a side pointer read out
+    // of a torn page). Surface it as a status instead of wandering through
+    // bytes that reinterpret as arbitrary side pointers.
+    if (PageGetType(cur->data()) != PageType::kTreeNode) {
+      cur->latch().Release(mode);
+      return Status::Corruption("page " + std::to_string(cur->id()) +
+                                " is not a tree node");
+    }
     NodeRef node(cur->data());
     if (node.BelowHigh(key)) return Status::OK();
     PageId next_pid = node.right_sibling();

@@ -24,6 +24,15 @@ struct AnalyzedTxn {
   bool aborting = false;
 };
 
+/// A forward log scan ends cleanly on NotFound (torn or absent tail) or on
+/// the append-buffer bound (InvalidArgument "lsn beyond log end"); any other
+/// terminal status — an injected or real I/O fault mid-log — must abort
+/// recovery rather than masquerade as end-of-log.
+Status CheckScanEnd(const Status& s) {
+  if (s.IsNotFound() || s.IsInvalidArgument()) return Status::OK();
+  return s;
+}
+
 }  // namespace
 
 Status RecoveryManager::Run(RecoveryStats* stats) {
@@ -46,7 +55,8 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
   {
     LogRecord rec;
     Lsn cursor = scan_start;
-    while (ctx_->wal->ReadRecord(cursor, &rec).ok()) {
+    Status scan;
+    while ((scan = ctx_->wal->ReadRecord(cursor, &rec)).ok()) {
       ++stats->records_analyzed;
       max_txn = std::max(max_txn, rec.txn_id);
       switch (rec.type) {
@@ -101,6 +111,7 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
       }
       cursor = rec.next_lsn;
     }
+    PITREE_RETURN_IF_ERROR(CheckScanEnd(scan));
   }
 
   // ---- Redo (repeating history) ------------------------------------------
@@ -113,7 +124,8 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
     }
     LogRecord rec;
     Lsn cursor = redo_start;
-    while (ctx_->wal->ReadRecord(cursor, &rec).ok()) {
+    Status scan;
+    while ((scan = ctx_->wal->ReadRecord(cursor, &rec)).ok()) {
       if (rec.type == LogRecordType::kUpdate ||
           rec.type == LogRecordType::kClr) {
         auto it = dpt.find(rec.page_id);
@@ -136,6 +148,7 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
       }
       cursor = rec.next_lsn;
     }
+    PITREE_RETURN_IF_ERROR(CheckScanEnd(scan));
   }
 
   // ---- Undo (losers, in global reverse-LSN order) -------------------------

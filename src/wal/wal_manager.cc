@@ -14,9 +14,15 @@ Status WalManager::Open(Env* env, const std::string& path) {
   LogReader reader(file_.get());
   LogRecord rec;
   Lsn end = 0;
-  while (reader.ReadNext(&rec).ok()) {
+  Status scan;
+  while ((scan = reader.ReadNext(&rec)).ok()) {
     end = reader.offset();
   }
+  // NotFound is the reader's clean end-of-log — including every torn-tail
+  // shape (short frame, implausible length, CRC mismatch). Anything else
+  // (an I/O fault, or a malformed body behind a valid CRC) must surface
+  // instead of silently truncating committed history at the failure point.
+  if (!scan.IsNotFound()) return scan;
   pending_base_ = end;
   durable_ = end;
   // Drop any torn bytes so appends extend a clean prefix.

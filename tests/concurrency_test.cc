@@ -127,6 +127,8 @@ TEST_P(ConcurrencyTest, DisjointRangeInsertersDontInterfere) {
 TEST_P(ConcurrencyTest, ContendedUpsertCounterHasNoLostUpdates) {
   // All threads increment the same small set of counters under X locks.
   const int kThreads = 4, kIncrements = 250, kCounters = 3;
+  const uint64_t seed = TestSeed(1);
+  SCOPED_TRACE("repro: PITREE_TEST_SEED=" + std::to_string(seed));
   for (int c = 0; c < kCounters; ++c) {
     Transaction* txn = db_->Begin();
     ASSERT_TRUE(tree_->Insert(txn, Key(c), "0").ok());
@@ -136,7 +138,7 @@ TEST_P(ConcurrencyTest, ContendedUpsertCounterHasNoLostUpdates) {
   std::atomic<int> committed{0};
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Random rnd(t + 1);
+      Random rnd(seed + t);
       int done = 0;
       while (done < kIncrements) {
         std::string key = Key(static_cast<int>(rnd.Uniform(kCounters)));
@@ -177,12 +179,14 @@ TEST_P(ConcurrencyTest, MixedWorkloadModelCheck) {
   // lock ordering) but share every tree structure: splits, postings and
   // consolidations interleave freely across threads.
   const int kThreads = 5, kOps = 1500;
+  const uint64_t seed = TestSeed(1000);
+  SCOPED_TRACE("repro: PITREE_TEST_SEED=" + std::to_string(seed));
   std::string report;
   std::vector<std::map<std::string, std::string>> models(kThreads);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
-      Random rnd(1000 + t);
+      Random rnd(seed + t);
       auto& model = models[t];
       for (int i = 0; i < kOps; ++i) {
         std::string key = Key(t * 100000 + static_cast<int>(rnd.Uniform(400)));
@@ -243,6 +247,8 @@ TEST_P(ConcurrencyTest, MixedWorkloadModelCheck) {
 
 TEST_P(ConcurrencyTest, ReadersRunDuringSplitStorm) {
   // Pre-load, then one writer thread splits constantly while readers scan.
+  const uint64_t seed = TestSeed(50);
+  SCOPED_TRACE("repro: PITREE_TEST_SEED=" + std::to_string(seed));
   std::string value(500, 'v');
   for (int i = 0; i < 200; ++i) {
     Transaction* txn = db_->Begin();
@@ -266,7 +272,7 @@ TEST_P(ConcurrencyTest, ReadersRunDuringSplitStorm) {
   std::atomic<int> reads{0};
   for (int r = 0; r < 3; ++r) {
     readers.emplace_back([&, r] {
-      Random rnd(50 + r);
+      Random rnd(seed + r);
       while (!stop.load()) {
         Transaction* txn = db_->Begin();
         std::string v;

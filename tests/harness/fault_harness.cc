@@ -1,0 +1,378 @@
+#include "harness/fault_harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/random.h"
+#include "db/database.h"
+#include "wal/log_reader.h"
+
+namespace pitree {
+namespace harness {
+
+namespace {
+
+std::string Key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+constexpr char kIndexName[] = "t";
+constexpr char kDbName[] = "db";
+constexpr char kWalFile[] = "db.wal";
+
+}  // namespace
+
+Expect ClassifyKey(const std::vector<KeyOp>& ops, Lsn prefix_end) {
+  // Walk the key's committed ops backward: the latest op whose commit record
+  // is provably inside the prefix decides. An op whose bracket straddles the
+  // prefix end makes the key undecidable; an op provably outside is simply
+  // not there yet, so the previous op decides.
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    if (prefix_end >= it->upper) {
+      return it->is_delete ? Expect::kAbsent : Expect::kPresent;
+    }
+    if (prefix_end > it->lower) return Expect::kUnknown;
+  }
+  return Expect::kAbsent;
+}
+
+Options WorkloadOptions(const ExplorerConfig& cfg) {
+  Options opts;
+  opts.consolidation_enabled = true;
+  opts.page_oriented_undo = false;
+  opts.maintenance_workers = cfg.maintenance_workers;
+  opts.inline_completion = cfg.maintenance_workers == 0;
+  // A pool large enough that data pages are never evicted mid-run: the data
+  // file then only changes through explicit flushes (checkpoint, shutdown),
+  // keeping the event journal — and so the crash-state space — compact.
+  opts.buffer_pool_pages = 4096;
+  return opts;
+}
+
+::testing::AssertionResult RunScriptedWorkload(const ExplorerConfig& cfg,
+                                               WorkloadTrace* out) {
+  out->seed = cfg.seed;
+  out->events.clear();
+  out->committed_ops.clear();
+  out->never_committed.clear();
+
+  SimEnv env;
+  FaultPlan plan;
+  plan.EnableRecording();
+  Options opts = WorkloadOptions(cfg);
+  opts.fault_plan = &plan;
+
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(opts, &env, kDbName, &db);
+  if (!s.ok()) {
+    return ::testing::AssertionFailure() << "open: " << s.ToString();
+  }
+  PiTree* tree = nullptr;
+  s = db->CreateIndex(kIndexName, &tree);
+  if (!s.ok()) {
+    return ::testing::AssertionFailure() << "create index: " << s.ToString();
+  }
+  WalManager* wal = db->context()->wal;
+
+  std::mutex trace_mu;
+  std::atomic<int> errors{0};
+  std::string last_error;
+
+  // Runs `op` in its own transaction, retrying conflict terminations, and
+  // stamps the [lower, upper] durability bracket of the commit on success.
+  auto commit_one = [&](const std::function<Status(Transaction*)>& op,
+                        const std::string& key, bool is_delete) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      Transaction* txn = db->Begin();
+      Status os = op(txn);
+      if (os.ok()) {
+        Lsn lower = wal->next_lsn();
+        Status cs = db->Commit(txn);
+        if (!cs.ok()) {
+          errors.fetch_add(1);
+          std::lock_guard<std::mutex> lk(trace_mu);
+          last_error = "commit " + key + ": " + cs.ToString();
+          return;
+        }
+        Lsn upper = wal->durable_lsn();
+        std::lock_guard<std::mutex> lk(trace_mu);
+        out->committed_ops[key].push_back({lower, upper, is_delete});
+        return;
+      }
+      db->Abort(txn);
+      if (!os.IsBusy() && !os.IsDeadlock()) {
+        errors.fetch_add(1);
+        std::lock_guard<std::mutex> lk(trace_mu);
+        last_error = "op " + key + ": " + os.ToString();
+        return;
+      }
+    }
+    errors.fetch_add(1);
+    std::lock_guard<std::mutex> lk(trace_mu);
+    last_error = "op " + key + ": retries exhausted";
+  };
+
+  const std::string value(110, 'v');
+
+  // Concurrent insert phase: each writer owns a disjoint key range and
+  // inserts it in a seed-shuffled order. The volume forces leaf splits, so
+  // index-term postings flow through the background workers while commits
+  // keep forcing the log.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < cfg.threads; ++t) {
+    writers.emplace_back([&, t] {
+      Random rnd(cfg.seed * 7919 + static_cast<uint64_t>(t));
+      std::vector<int> order(cfg.keys_per_thread);
+      for (int i = 0; i < cfg.keys_per_thread; ++i) order[i] = i;
+      for (int i = cfg.keys_per_thread - 1; i > 0; --i) {
+        std::swap(order[i], order[rnd.Uniform(static_cast<uint64_t>(i) + 1)]);
+      }
+      for (int i : order) {
+        std::string k = Key(t * 100000 + i);
+        commit_one(
+            [&](Transaction* txn) { return tree->Insert(txn, k, value); }, k,
+            false);
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+
+  // Committed deletes that hollow out writer 0's low range far below the
+  // utilization threshold, so sweeps and traversals schedule consolidations.
+  int deletions = std::min(cfg.keys_per_thread, 36);
+  for (int i = 0; i < deletions; ++i) {
+    if (i % 6 == 5) continue;  // leave stragglers so the range stays live
+    std::string k = Key(i);
+    commit_one([&](Transaction* txn) { return tree->Delete(txn, k); }, k,
+               true);
+  }
+
+  // A fuzzy checkpoint mid-history: its master-record replacement and
+  // page flushes become sync points of their own, and recoveries from
+  // later crash states must combine the master record with the log tail.
+  s = db->Checkpoint();
+  if (!s.ok()) {
+    return ::testing::AssertionFailure() << "checkpoint: " << s.ToString();
+  }
+
+  // Post-checkpoint inserts (redo work that lives only in the log tail).
+  for (int i = 0; i < 12; ++i) {
+    std::string k = Key(500000 + i);
+    commit_one([&](Transaction* txn) { return tree->Insert(txn, k, value); },
+               k, false);
+  }
+
+  // An explicitly aborted transaction: rollback writes CLRs, and a crash may
+  // land anywhere inside that chain — the keys must be absent regardless.
+  {
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < 8; ++i) {
+      std::string k = Key(600000 + i);
+      Status is = tree->Insert(txn, k, value);
+      if (!is.ok()) {
+        return ::testing::AssertionFailure()
+               << "abort-txn insert " << k << ": " << is.ToString();
+      }
+      out->never_committed.push_back(k);
+    }
+    s = db->Abort(txn);
+    if (!s.ok()) {
+      return ::testing::AssertionFailure() << "abort: " << s.ToString();
+    }
+  }
+
+  // The loser: a multi-op transaction still in flight at every crash point.
+  // Its updates are made durable (FlushAll) without a commit record, so
+  // recovery must undo them — including any splits they triggered, which as
+  // separate atomic actions must NOT be undone.
+  {
+    Transaction* loser = db->Begin();
+    for (int i = 0; i < 30; ++i) {
+      std::string k = Key(700000 + i);
+      Status is = tree->Insert(loser, k, value);
+      if (!is.ok()) {
+        return ::testing::AssertionFailure()
+               << "loser insert " << k << ": " << is.ToString();
+      }
+      out->never_committed.push_back(k);
+    }
+    s = wal->FlushAll();
+    if (!s.ok()) {
+      return ::testing::AssertionFailure() << "loser flush: " << s.ToString();
+    }
+    // `loser` is intentionally left open; the shutdown below must not
+    // commit it, and ~Database reclaims the object.
+  }
+
+  if (errors.load() != 0) {
+    return ::testing::AssertionFailure()
+           << errors.load() << " workload ops failed; last: " << last_error;
+  }
+
+  // Clean shutdown: drains maintenance and flushes WAL + dirty pages, all of
+  // which append further events — the explorer crashes inside shutdown too.
+  db.reset();
+
+  out->events = plan.TakeRecording();
+  return ::testing::AssertionSuccess();
+}
+
+void MaterializeCrashImage(const std::vector<SyncEvent>& events, size_t n,
+                           const TornVariant* torn, SimEnv* env) {
+  std::map<std::string, std::string> images;
+  auto apply = [&images](const SyncEvent& ev) {
+    std::string& img = images[ev.file];
+    if (ev.atomic_replace) {
+      img = ev.bytes;
+      return;
+    }
+    img.resize(ev.durable_size, '\0');
+    if (!ev.bytes.empty()) {
+      img.replace(ev.offset, ev.bytes.size(), ev.bytes);
+    }
+  };
+  for (size_t i = 0; i < n && i < events.size(); ++i) apply(events[i]);
+
+  if (torn != nullptr && n < events.size()) {
+    const SyncEvent& ev = events[n];
+    // Atomic replacements cannot tear by contract (write + sync + rename);
+    // only an in-place event has an in-flight range to tear.
+    if (!ev.atomic_replace && !ev.bytes.empty()) {
+      std::string& img = images[ev.file];
+      size_t keep = static_cast<size_t>(
+          std::min<uint64_t>(torn->keep_bytes, ev.bytes.size()));
+      size_t reach = torn->garbage_tail ? ev.bytes.size() : keep;
+      if (img.size() < ev.offset + reach) {
+        img.resize(ev.offset + reach, '\0');
+      }
+      img.replace(ev.offset, keep, ev.bytes.data(), keep);
+      std::fill(img.begin() + static_cast<ptrdiff_t>(ev.offset + keep),
+                img.begin() + static_cast<ptrdiff_t>(ev.offset + reach),
+                '\xCD');
+    }
+  }
+
+  for (const auto& [file, bytes] : images) {
+    Status s = env->WriteFileAtomic(file, bytes);
+    (void)s;  // in-memory env without a plan installed: cannot fail
+  }
+}
+
+Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
+  if (!env->FileExists(wal_file)) return 0;
+  std::unique_ptr<File> f;
+  if (!env->OpenFile(wal_file, &f).ok()) return 0;
+  LogReader reader(f.get());
+  LogRecord rec;
+  Lsn end = 0;
+  while (reader.ReadNext(&rec).ok()) end = reader.offset();
+  return end;
+}
+
+::testing::AssertionResult CheckPostRecoveryOracle(SimEnv* env,
+                                                   const WorkloadTrace& trace,
+                                                   const ExplorerConfig& cfg,
+                                                   const std::string& label) {
+  auto fail = [&label]() {
+    return ::testing::AssertionFailure() << label << ": ";
+  };
+
+  const Lsn prefix_end = ValidWalPrefix(env, kWalFile);
+
+  // Recover with inline completion: the oracle's own checks then see a
+  // stable tree without racing background workers. (Crash states produced
+  // under workers must recover under any completion regime — §5.1 hints
+  // carry no durability obligations.)
+  Options opts = WorkloadOptions(cfg);
+  opts.maintenance_workers = 0;
+  opts.inline_completion = true;
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(opts, env, kDbName, &db);
+  if (!s.ok()) return fail() << "recovery failed: " << s.ToString();
+
+  PiTree* tree = nullptr;
+  Status gi = db->GetIndex(kIndexName, &tree);
+  size_t must_have = 0;
+  for (const auto& [key, ops] : trace.committed_ops) {
+    if (ClassifyKey(ops, prefix_end) == Expect::kPresent) ++must_have;
+  }
+  if (!gi.ok()) {
+    // Legal only if the crash predates the index creation being durable —
+    // i.e. nothing is provably committed into it yet.
+    if (must_have == 0) return ::testing::AssertionSuccess();
+    return fail() << "index missing but " << must_have
+                  << " committed keys are durable: " << gi.ToString();
+  }
+
+  std::string report;
+  s = tree->CheckWellFormed(&report);
+  if (!s.ok()) {
+    return fail() << "not well-formed after recovery: " << report;
+  }
+
+  Transaction* txn = db->Begin();
+  size_t checked = 0;
+  for (const auto& [key, ops] : trace.committed_ops) {
+    Expect e = ClassifyKey(ops, prefix_end);
+    if (e == Expect::kUnknown) continue;
+    ++checked;
+    std::string v;
+    Status g = tree->Get(txn, key, &v);
+    if (e == Expect::kPresent && !g.ok()) {
+      db->Abort(txn);
+      return fail() << "durably committed key lost: " << key << " ("
+                    << g.ToString() << "), prefix_end=" << prefix_end;
+    }
+    if (e == Expect::kAbsent && !g.IsNotFound()) {
+      db->Abort(txn);
+      return fail() << "key should be absent: " << key << " ("
+                    << g.ToString() << "), prefix_end=" << prefix_end;
+    }
+  }
+  for (const std::string& key : trace.never_committed) {
+    std::string v;
+    Status g = tree->Get(txn, key, &v);
+    if (!g.IsNotFound()) {
+      db->Abort(txn);
+      return fail() << "uncommitted key leaked: " << key << " ("
+                    << g.ToString() << ")";
+    }
+  }
+  s = db->Commit(txn);
+  if (!s.ok()) return fail() << "oracle txn commit: " << s.ToString();
+
+  // §2.1.3 audit along sampled live root-to-leaf paths (AuditPath also
+  // works for absent keys: it audits the path to where the key would be).
+  size_t seen = 0;
+  for (const auto& [key, ops] : trace.committed_ops) {
+    (void)ops;
+    if (++seen % 17 != 0) continue;
+    size_t nodes = 0;
+    Status a = tree->AuditPath(key, &nodes, &report);
+    if (!a.ok()) {
+      return fail() << "AuditPath(" << key << "): " << report;
+    }
+  }
+
+  // The recovered tree must accept new work and stay well-formed.
+  txn = db->Begin();
+  s = tree->Insert(txn, "post-crash-probe", "ok");
+  if (!s.ok()) return fail() << "probe insert: " << s.ToString();
+  s = db->Commit(txn);
+  if (!s.ok()) return fail() << "probe commit: " << s.ToString();
+  s = tree->CheckWellFormed(&report);
+  if (!s.ok()) return fail() << "not well-formed after probe: " << report;
+
+  (void)checked;
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace harness
+}  // namespace pitree

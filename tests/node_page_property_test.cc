@@ -76,7 +76,9 @@ class NodePageProperty : public ::testing::TestWithParam<SizeProfile> {
 };
 
 TEST_P(NodePageProperty, RandomOpsMatchModel) {
-  Random rnd(0xC0FFEE);
+  const uint64_t seed = TestSeed(0xC0FFEE);
+  SCOPED_TRACE("repro: PITREE_TEST_SEED=" + std::to_string(seed));
+  Random rnd(seed);
   std::map<std::string, std::string> model;
   std::vector<std::string> live_keys;
   for (int step = 0; step < 5000; ++step) {
@@ -122,7 +124,9 @@ TEST_P(NodePageProperty, RandomOpsMatchModel) {
 TEST_P(NodePageProperty, FreeSpaceNeverLostAcrossChurn) {
   // Fill, empty, repeat: capacity after full drain must return to the
   // initial value (compaction reclaims all fragments).
-  Random rnd(42);
+  const uint64_t seed = TestSeed(42);
+  SCOPED_TRACE("repro: PITREE_TEST_SEED=" + std::to_string(seed));
+  Random rnd(seed);
   size_t initial_free = node_.FreeSpace();
   for (int round = 0; round < 5; ++round) {
     std::vector<std::string> keys;
@@ -149,7 +153,9 @@ TEST_P(NodePageProperty, RedoDeterminism) {
   // images must agree byte-for-byte in all live regions (we compare the
   // parsed content, since compaction timing may differ... it cannot: the
   // ops are identical, so the layouts match exactly).
-  Random rnd(7);
+  const uint64_t seed = TestSeed(7);
+  SCOPED_TRACE("repro: PITREE_TEST_SEED=" + std::to_string(seed));
+  Random rnd(seed);
   std::unique_ptr<char[]> other(new char[kPageSize]());
   PageInitHeader(other.get(), 11, PageType::kTreeNode);
   NodeRef replica(other.get());
@@ -181,7 +187,9 @@ TEST_P(NodePageProperty, RedoDeterminism) {
 }
 
 TEST_P(NodePageProperty, SplitPartitionsExactly) {
-  Random rnd(99);
+  const uint64_t seed = TestSeed(99);
+  SCOPED_TRACE("repro: PITREE_TEST_SEED=" + std::to_string(seed));
+  Random rnd(seed);
   std::map<std::string, std::string> model;
   for (;;) {
     std::string k = RandomKey(&rnd);

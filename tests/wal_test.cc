@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "env/fault_plan.h"
 #include "env/sim_env.h"
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
@@ -173,6 +174,121 @@ TEST_F(WalTest, ReopenPositionsAfterValidPrefixAndIgnoresTornTail) {
   ASSERT_TRUE(reader.ReadNext(&rec).ok());
   EXPECT_EQ(rec.type, LogRecordType::kCommit);
   EXPECT_EQ(rec.lsn, b);
+}
+
+// A torn final record whose bytes are all present but damaged (CRC
+// mismatch, e.g. a partially overwritten sector) is end-of-log, not a hard
+// error: reopen must position the append point before it and keep going.
+TEST_F(WalTest, TornFinalRecordCrcMismatchIsEndOfLog) {
+  Lsn a, b, c;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeUpdate(1, a, 2, "redo", "undo"), &b).ok());
+  ASSERT_TRUE(wal_.Append(MakeCommit(1, b), &c).ok());
+  ASSERT_TRUE(wal_.FlushAll().ok());
+
+  // Flip one payload byte inside the final (commit) record.
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  char scratch[1];
+  Slice got;
+  ASSERT_TRUE(f->Read(c + 9, 1, &got, scratch).ok());
+  char flipped = static_cast<char>(scratch[0] ^ 0x40);
+  ASSERT_TRUE(f->Write(c + 9, Slice(&flipped, 1)).ok());
+  ASSERT_TRUE(f->Sync().ok());
+
+  WalManager wal2;
+  ASSERT_TRUE(wal2.Open(&env_, "wal").ok());
+  EXPECT_EQ(wal2.next_lsn(), c) << "valid prefix must end before the torn "
+                                   "record, not at 0 and not past it";
+
+  // The damaged record is gone; earlier history and new appends survive.
+  Lsn c2;
+  ASSERT_TRUE(wal2.Append(MakeCommit(1, b), &c2).ok());
+  ASSERT_TRUE(wal2.FlushAll().ok());
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  LogReader reader(f.get());
+  LogRecord rec;
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.lsn, a);
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.lsn, b);
+  ASSERT_TRUE(reader.ReadNext(&rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kCommit);
+  EXPECT_TRUE(reader.ReadNext(&rec).IsNotFound());
+}
+
+// A tail cut mid-header (not even the length field survived) is equally
+// end-of-log.
+TEST_F(WalTest, TailCutMidHeaderIsEndOfLog) {
+  Lsn a, b;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeCommit(1, a), &b).ok());
+  ASSERT_TRUE(wal_.FlushAll().ok());
+
+  std::unique_ptr<File> f;
+  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  ASSERT_TRUE(f->Truncate(b + 4).ok());
+  ASSERT_TRUE(f->Sync().ok());
+
+  WalManager wal2;
+  ASSERT_TRUE(wal2.Open(&env_, "wal").ok());
+  EXPECT_EQ(wal2.next_lsn(), b);
+}
+
+// End-to-end through the fault plan: a WAL sync fails (frames stay in
+// flight), the crash tears the in-flight range mid-record, and reopen comes
+// back with exactly the earlier durable prefix.
+TEST_F(WalTest, FaultPlanTornSyncRecoversEarlierPrefix) {
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+  Lsn a, b;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.FlushAll().ok());
+  Lsn end = wal_.durable_lsn();
+
+  ASSERT_TRUE(wal_.Append(MakeUpdate(1, a, 2, "redo", "undo"), &b).ok());
+  plan.FailNth(FaultOp::kSync, plan.sync_points(),
+               Status::IOError("injected: power lost during fsync"));
+  ASSERT_TRUE(wal_.FlushAll().IsIOError());
+
+  plan.TearOnNextCrash("wal", /*keep_bytes=*/5, /*garbage_tail=*/true);
+  env_.Crash();
+
+  WalManager wal2;
+  ASSERT_TRUE(wal2.Open(&env_, "wal").ok());
+  EXPECT_EQ(wal2.next_lsn(), end);
+}
+
+// The audit half of the contract: a real I/O fault while scanning the log
+// at open is NOT a torn tail. It must surface as the injected status, and
+// the log must not be truncated at the failure point — retrying after the
+// fault clears must see the full history.
+TEST_F(WalTest, ReadErrorDuringOpenSurfacesAndPreservesLog) {
+  Lsn a, b;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeCommit(1, a), &b).ok());
+  ASSERT_TRUE(wal_.FlushAll().ok());
+  Lsn end = wal_.durable_lsn();
+
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+  // The second record's header read fails (each ReadNext issues a header
+  // read then a payload read).
+  plan.FailNth(FaultOp::kRead, plan.op_count(FaultOp::kRead) + 2,
+               Status::IOError("injected: unreadable sector"));
+
+  WalManager wal2;
+  Status s = wal2.Open(&env_, "wal");
+  ASSERT_TRUE(s.IsIOError()) << "fault must not read as end-of-log: "
+                             << s.ToString();
+
+  // Nothing was truncated: with the fault gone, the whole log is there.
+  WalManager wal3;
+  ASSERT_TRUE(wal3.Open(&env_, "wal").ok());
+  EXPECT_EQ(wal3.next_lsn(), end);
+  LogRecord rec;
+  ASSERT_TRUE(wal3.ReadRecord(b, &rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kCommit);
 }
 
 TEST_F(WalTest, ManyRecordsRoundTrip) {
