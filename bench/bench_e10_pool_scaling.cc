@@ -1,0 +1,214 @@
+// Experiment E10 — buffer-pool scaling: sharded, I/O-outside-lock pool vs.
+// the single-mutex baseline (shards=1). The seed pool funneled every fetch,
+// unpin, and flush through one mutex held across disk reads, eviction
+// writes, and WAL forces, so the Π-tree's decomposed-SMO concurrency
+// (§4.1) died at the storage layer. Here raw fetch throughput is swept over
+// thread counts for three workloads:
+//   hit    — working set fits; pure latch-path scaling.
+//   mixed  — ~10% misses; in the baseline one thread's disk I/O stalls
+//            every other thread's cache hit, in the sharded pool hits
+//            proceed while a miss's I/O is in flight.
+//   churn  — working set >> capacity; eviction-heavy (SimEnv serializes
+//            the I/O itself behind one env mutex, so this bounds, rather
+//            than showcases, the gain).
+// Emits both the paper-style table and a JSON artifact (BENCH_e10.json)
+// so CI can track the trajectory. PITREE_BENCH_SMOKE=1 shrinks the sweep
+// for smoke runs.
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "env/sim_env.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace pitree {
+namespace bench {
+namespace {
+
+struct RunResult {
+  std::string workload;
+  int threads;
+  size_t shards;
+  double seconds;
+  uint64_t fetches;
+  double kops;
+  PoolShardStats stats;
+};
+
+struct Workload {
+  const char* name;
+  size_t capacity;
+  PageId working_set;
+  int write_pct;  // X-latch + MarkDirty fraction, makes evictions dirty
+};
+
+uint64_t FetchesPerThread() {
+  return getenv("PITREE_BENCH_SMOKE") ? 20000 : 200000;
+}
+
+RunResult RunOnce(const Workload& w, int threads, size_t shards) {
+  SimEnv env;
+  DiskManager disk;
+  if (!disk.Open(&env, "bench.db").ok()) abort();
+  std::atomic<Lsn> wal{0};
+  BufferPool pool(
+      &disk, w.capacity,
+      [&wal](Lsn lsn) {
+        Lsn cur = wal.load(std::memory_order_relaxed);
+        while (cur < lsn && !wal.compare_exchange_weak(
+                                cur, lsn, std::memory_order_relaxed)) {
+        }
+        return Status::OK();
+      },
+      shards);
+
+  // Materialize the working set once so the timed phase reads real pages.
+  for (PageId id = 0; id < w.working_set; ++id) {
+    PageHandle h;
+    if (!pool.FetchPageZeroed(id, &h).ok()) abort();
+    PageInitHeader(h.data(), id, PageType::kTreeNode);
+    h.MarkDirty(1 + id);
+  }
+  if (!pool.FlushAll().ok()) abort();
+
+  const uint64_t per_thread = FetchesPerThread();
+  std::atomic<Lsn> next_lsn{w.working_set + 1};
+  std::atomic<uint64_t> fetched{0};
+  Timer t;
+  std::vector<std::thread> ths;
+  for (int th = 0; th < threads; ++th) {
+    ths.emplace_back([&, th] {
+      Random rnd(0xE10 + th);
+      uint64_t done = 0;
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        PageId id = rnd.Uniform(w.working_set);
+        PageHandle h;
+        Status s = pool.FetchPage(id, &h);
+        if (s.IsBusy()) continue;
+        if (!s.ok()) abort();
+        if (static_cast<int>(rnd.Uniform(100)) < w.write_pct) {
+          h.latch().AcquireX();
+          h.MarkDirty(next_lsn.fetch_add(1));
+          h.latch().ReleaseX();
+        } else {
+          h.latch().AcquireS();
+          // Touch a cacheline like a key comparison would.
+          volatile char c = h.data()[kPageHeaderSize];
+          (void)c;
+          h.latch().ReleaseS();
+        }
+        ++done;
+      }
+      fetched.fetch_add(done);
+    });
+  }
+  for (auto& th : ths) th.join();
+  double secs = t.ElapsedSeconds();
+
+  RunResult r;
+  r.workload = w.name;
+  r.threads = threads;
+  r.shards = pool.shard_count();
+  r.seconds = secs;
+  r.fetches = fetched.load();
+  r.kops = r.fetches / secs / 1e3;
+  r.stats = pool.Stats().total;
+  return r;
+}
+
+std::string JsonEscapeless(const RunResult& r) {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "    {\"workload\": \"%s\", \"threads\": %d, \"shards\": %zu, "
+           "\"seconds\": %.4f, \"fetches\": %llu, \"kops\": %.1f, "
+           "\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu, "
+           "\"flushes\": %llu, \"io_waits\": %llu}",
+           r.workload.c_str(), r.threads, r.shards, r.seconds,
+           (unsigned long long)r.fetches, r.kops,
+           (unsigned long long)r.stats.hits, (unsigned long long)r.stats.misses,
+           (unsigned long long)r.stats.evictions,
+           (unsigned long long)r.stats.flushes,
+           (unsigned long long)r.stats.io_waits);
+  return buf;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pitree
+
+int main(int argc, char** argv) {
+  using namespace pitree;
+  using namespace pitree::bench;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_e10.json";
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= 8; t *= 2) thread_counts.push_back(t);
+
+  // LRU over a uniform access pattern hits at roughly capacity/working_set,
+  // so "mixed" lands near 90/10 and "churn" near 6/94.
+  const Workload kWorkloads[] = {
+      {"hit", 2048, 1024, 0},
+      {"mixed", 920, 1024, 20},
+      {"churn", 256, 4096, 50},
+  };
+
+  printf("E10: buffer-pool scaling, sharded vs. single-mutex baseline\n");
+  printf("(hardware threads: %u; SimEnv backing store)\n\n", hw);
+
+  std::vector<RunResult> results;
+  PrintRow({"workload", "threads", "shards", "kops/s", "hits", "misses",
+            "evict", "io_waits"},
+           {10, 9, 8, 11, 11, 10, 9, 10});
+  for (const Workload& w : kWorkloads) {
+    for (int threads : thread_counts) {
+      // Explicit shard counts: 0/auto would resolve to a single shard on a
+      // 1-core dev box and make the comparison vacuous.
+      for (size_t shards : {size_t{1}, size_t{8}}) {
+        RunResult r = RunOnce(w, threads, shards);
+        results.push_back(r);
+        PrintRow({r.workload, FmtU(r.threads), FmtU(r.shards), Fmt(r.kops, 1),
+                  FmtU(r.stats.hits), FmtU(r.stats.misses),
+                  FmtU(r.stats.evictions), FmtU(r.stats.io_waits)},
+                 {10, 9, 8, 11, 11, 10, 9, 10});
+      }
+    }
+    printf("\n");
+  }
+
+  FILE* f = fopen(out_path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  fprintf(f, "{\n  \"experiment\": \"E10\",\n");
+  fprintf(f, "  \"description\": \"buffer-pool fetch throughput, sharded "
+             "(shards>1) vs single-mutex baseline (shards=1)\",\n");
+  fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+  fprintf(f, "  \"smoke\": %s,\n", getenv("PITREE_BENCH_SMOKE") ? "true" : "false");
+  fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    fprintf(f, "%s%s\n", JsonEscapeless(results[i]).c_str(),
+            i + 1 < results.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote %s\n", out_path);
+
+  printf("\nExpected shape (>=4 cores): 'hit' and 'mixed' kops scale with "
+         "threads for the\nsharded pool and stay flat (or degrade) for "
+         "shards=1; 'churn' is bounded by the\nenv's serialized I/O either "
+         "way. io_waits counts fetchers that slept behind\nanother thread's "
+         "in-flight I/O — nonzero proves misses overlapped with traffic\n"
+         "instead of stalling the whole pool.\n");
+  return 0;
+}

@@ -13,6 +13,13 @@ struct Options {
   /// Buffer pool capacity in pages.
   size_t buffer_pool_pages = 512;
 
+  /// Buffer pool shard count (power of two; page ids hash to shards, each
+  /// with its own mutex/table/LRU so fetches of distinct pages proceed in
+  /// parallel). 0 picks automatically from the hardware concurrency,
+  /// bounded so every shard keeps enough frames; an explicit value is
+  /// rounded down to a power of two and clamped to the capacity.
+  size_t buffer_pool_shards = 0;
+
   /// CP vs. CNS (§5.2). When false, node consolidation never runs; the tree
   /// uses the Consolidation-Not-Supported invariant: single-latch traversal,
   /// no latch coupling, saved paths trusted without re-verification of node

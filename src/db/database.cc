@@ -32,7 +32,7 @@ Status Database::Init(const Options& options, Env* env,
 
   pool_ = std::make_unique<BufferPool>(
       &disk_, options.buffer_pool_pages,
-      [this](Lsn lsn) { return wal_.Flush(lsn); });
+      [this](Lsn lsn) { return wal_.Flush(lsn); }, options.buffer_pool_shards);
   ctx_.pool = pool_.get();
 
   ctx_.locks = &locks_;

@@ -68,6 +68,9 @@ class Database {
   Status FlushAll();
 
   EngineContext* context() { return &ctx_; }
+  /// Buffer-pool counters (per-shard hits/misses/evictions/flushes/waits),
+  /// for experiments and operational visibility.
+  PoolStats pool_stats() const { return pool_->Stats(); }
   /// The background scheduler for all structure-maintenance work: sharded
   /// completion queues, the consolidation sweeper, and the online auditor.
   MaintenanceService* maintenance() { return maintenance_.get(); }

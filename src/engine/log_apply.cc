@@ -19,6 +19,12 @@ Status LogAndApply(EngineContext* ctx, Transaction* txn, PageHandle& page,
   rec.redo = std::move(redo);
   rec.undo_op = undo_op;
   rec.undo = std::move(undo);
+  // DPT reservation before the append: a checkpoint whose dirty-page scan
+  // runs between Append and MarkDirty would otherwise miss this page while
+  // the record already sits before its begin-checkpoint LSN — recovery
+  // would then start redo past it. next_lsn() <= the record's LSN, so the
+  // reserved recLSN is always early enough.
+  page.ReserveDirty(ctx->wal->next_lsn());
   Lsn lsn;
   PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn));
   PITREE_RETURN_IF_ERROR(ApplyAnyRedo(op, rec.redo, page.data()));
@@ -37,6 +43,7 @@ Status LogAndApplyClr(EngineContext* ctx, Transaction* txn, PageHandle& page,
   rec.op = op;
   rec.redo = std::move(redo);
   rec.undo_next = undo_next;
+  page.ReserveDirty(ctx->wal->next_lsn());  // see LogAndApply
   Lsn lsn;
   PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn));
   PITREE_RETURN_IF_ERROR(ApplyAnyRedo(op, rec.redo, page.data()));

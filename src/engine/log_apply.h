@@ -12,9 +12,11 @@
 namespace pitree {
 
 /// Logs a kUpdate record for `txn` and applies its redo to the (X-latched,
-/// pinned) page. This is the single write path of the engine: WAL first,
-/// page second, page LSN stamped with the record's LSN so redo is
-/// idempotent and the LSN serves as the node's state identifier (§5.2).
+/// pinned) page. This is the single write path of the engine: DPT entry
+/// reserved, WAL appended, page modified, page LSN stamped with the
+/// record's LSN so redo is idempotent and the LSN serves as the node's
+/// state identifier (§5.2). The reservation keeps a concurrent checkpoint
+/// from snapshotting a dirty-page table that misses this record's page.
 Status LogAndApply(EngineContext* ctx, Transaction* txn, PageHandle& page,
                    PageOp op, std::string redo, PageOp undo_op,
                    std::string undo);

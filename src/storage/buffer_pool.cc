@@ -1,9 +1,55 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <thread>
 
 namespace pitree {
+
+namespace {
+
+// Number of shard mutexes the current thread holds. The fetch/flush state
+// machines are built so this is 0 at every disk or WAL call; the I/O
+// wrappers assert it (debug builds) so a regression fails loudly instead of
+// re-serializing the pool behind I/O.
+thread_local int t_shard_locks_held = 0;
+
+// Floor on frames per shard when the count is chosen automatically: page->
+// shard hashing is skewed over small pools, and too few frames per shard
+// makes shard-local "all pinned" spuriously reachable.
+constexpr size_t kMinFramesPerShardAuto = 16;
+
+size_t LargestPow2AtMost(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+size_t PickShardCount(size_t capacity, size_t requested) {
+  if (requested > 0) {
+    return LargestPow2AtMost(std::min(requested, capacity));
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  size_t bound = capacity / kMinFramesPerShardAuto;
+  if (bound == 0) bound = 1;
+  return LargestPow2AtMost(std::min(std::min(hw, size_t{64}), bound));
+}
+
+// Per-thread scratch page for latch-consistent flush snapshots. FlushFrame
+// is not re-entered on a thread (ensure_durable_ never calls back into the
+// pool), so one buffer per thread suffices.
+char* FlushScratch() {
+  static thread_local std::unique_ptr<char[]> buf(new char[kPageSize]);
+  return buf.get();
+}
+
+}  // namespace
+
+BufferPool::ShardLock::ShardLock(Shard& s) : lk(s.mu) { ++t_shard_locks_held; }
+
+BufferPool::ShardLock::~ShardLock() { --t_shard_locks_held; }
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -32,19 +78,54 @@ PageId PageHandle::id() const { return pool_->frames_[frame_idx_]->page_id; }
 
 Latch& PageHandle::latch() const { return pool_->frames_[frame_idx_]->latch; }
 
+void PageHandle::ReserveDirty(Lsn rec_lsn) {
+  pool_->MarkDirtyFrame(frame_idx_, rec_lsn);
+}
+
 void PageHandle::MarkDirty(Lsn lsn) {
   PageSetLsn(data(), lsn);
-  pool_->MarkDirty(frame_idx_, lsn);
+  pool_->MarkDirtyFrame(frame_idx_, lsn);
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity,
-                       EnsureDurableFn ensure_durable)
+                       EnsureDurableFn ensure_durable, size_t shard_count)
     : disk_(disk), ensure_durable_(std::move(ensure_durable)) {
+  if (capacity == 0) capacity = 1;
+  const size_t n = PickShardCount(capacity, shard_count);
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   frames_.reserve(capacity);
   for (size_t i = 0; i < capacity; ++i) {
     frames_.push_back(std::make_unique<Frame>());
-    frames_.back()->data.reset(new char[kPageSize]);
+    Frame& f = *frames_.back();
+    f.data.reset(new char[kPageSize]);
+    f.shard = static_cast<uint32_t>(i & shard_mask_);
+    shards_[f.shard]->frames.push_back(i);
   }
+}
+
+size_t BufferPool::ShardOf(PageId id) const {
+  // Fibonacci mix so sequentially allocated pages spread across shards.
+  uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
+  return static_cast<size_t>(h >> 32) & shard_mask_;
+}
+
+Status BufferPool::DoRead(PageId id, char* buf) {
+  assert(t_shard_locks_held == 0 && "shard mutex held across ReadPage");
+  return disk_->ReadPage(id, buf);
+}
+
+Status BufferPool::DoWrite(PageId id, const char* buf) {
+  assert(t_shard_locks_held == 0 && "shard mutex held across WritePage");
+  return disk_->WritePage(id, buf);
+}
+
+Status BufferPool::DoEnsureDurable(Lsn lsn) {
+  assert(t_shard_locks_held == 0 && "shard mutex held across WAL force");
+  return ensure_durable_(lsn);
 }
 
 Status BufferPool::FetchPage(PageId id, PageHandle* handle) {
@@ -57,12 +138,26 @@ Status BufferPool::FetchPageZeroed(PageId id, PageHandle* handle) {
 
 Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
   assert(id != kInvalidPageId);
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = table_.find(id);
-  if (it != table_.end()) {
+  Shard& shard = *shards_[ShardOf(id)];
+  ShardLock lk(shard);
+
+  for (;;) {
+    auto it = shard.table.find(id);
+    if (it == shard.table.end()) break;
     Frame& f = *frames_[it->second];
+    if (f.io_in_progress) {
+      // Another thread is reading this page in, or draining the dirty image
+      // of the page this frame is being stolen from. Sleep until the frame
+      // is published (or the claim is unwound) and rescan: the table may
+      // look entirely different by then.
+      ++shard.stats.io_waits;
+      shard.cv.wait(lk.lk);
+      continue;
+    }
+    assert(f.page_id == id);
     ++f.pin_count;
-    f.lru_tick = ++tick_;
+    f.lru_tick = ++shard.tick;
+    ++shard.stats.hits;
     if (zeroed) {
       // Caller is re-formatting a re-allocated page that is still resident.
       memset(f.data.get(), 0, kPageSize);
@@ -70,34 +165,88 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
     *handle = PageHandle(this, it->second);
     return Status::OK();
   }
-  ++misses_;
+
+  ++shard.stats.misses;
   size_t idx;
-  PITREE_RETURN_IF_ERROR(FindVictim(&idx));
-  Frame& f = *frames_[idx];
-  if (f.page_id != kInvalidPageId) {
-    PITREE_RETURN_IF_ERROR(FlushFrameLocked(f));
-    table_.erase(f.page_id);
+  Frame* victim = nullptr;
+  for (;;) {
+    PITREE_RETURN_IF_ERROR(FindVictim(shard, &idx));
+    victim = frames_[idx].get();
+    if (!victim->dirty) break;
+    // A dirty victim's image is snapshotted under its page latch (S). An
+    // unpinned frame's latch cannot be held — latches are reached only
+    // through pinned handles — so the try cannot fail; the No-Wait try (vs.
+    // a blocking acquire) makes any future violation of that invariant show
+    // up as a skipped victim instead of a deadlock.
+    if (victim->latch.TryAcquireS()) break;
+    assert(false && "unpinned victim frame latch held");
+    victim->lru_tick = ++shard.tick;  // deprioritize, look again
   }
+  Frame& f = *victim;
+  const PageId victim_id = f.page_id;
+
+  // Claim the frame and the target id before any I/O. The victim's old
+  // mapping (if any) stays until its dirty image is on disk, so a
+  // concurrent fetch of the evicted page waits on the CV instead of racing
+  // the disk write; a concurrent fetch of `id` waits instead of loading a
+  // second copy.
+  f.io_in_progress = true;
+  shard.table[id] = idx;
+
+  if (victim_id != kInvalidPageId) ++shard.stats.evictions;
+  if (f.dirty) {
+    Status fs = FlushFrame(shard, lk, f, /*latched=*/true);
+    if (!fs.ok()) {
+      // The victim keeps its identity and its dirty image (losing either
+      // would drop a logged update); only the claim on `id` is unwound.
+      shard.table.erase(id);
+      f.io_in_progress = false;
+      shard.cv.notify_all();
+      return fs;
+    }
+  }
+
+  // The old image (if any) is durable; retire the old identity *before* the
+  // read, so an error below leaves the frame on the free list instead of a
+  // phantom: a frame keeping a stale page_id while unmapped lets a later
+  // fetch of that page load a second frame for the same id, and the stale
+  // frame's eventual eviction then erases the live table entry.
+  if (victim_id != kInvalidPageId) shard.table.erase(victim_id);
+  f.page_id = id;
+  f.dirty = false;
+  f.rec_lsn = kInvalidLsn;
+
+  Status s;
   if (zeroed) {
     memset(f.data.get(), 0, kPageSize);
   } else {
-    PITREE_RETURN_IF_ERROR(disk_->ReadPage(id, f.data.get()));
+    lk.lk.unlock();
+    s = DoRead(id, f.data.get());
+    lk.lk.lock();
   }
-  f.page_id = id;
+
+  if (!s.ok()) {
+    shard.table.erase(id);
+    f.page_id = kInvalidPageId;
+    f.io_in_progress = false;
+    shard.cv.notify_all();
+    return s;
+  }
+
   f.pin_count = 1;
-  f.dirty = false;
-  f.rec_lsn = kInvalidLsn;
-  f.lru_tick = ++tick_;
-  table_[id] = idx;
+  f.lru_tick = ++shard.tick;
+  f.io_in_progress = false;
+  shard.cv.notify_all();
   *handle = PageHandle(this, idx);
   return Status::OK();
 }
 
-Status BufferPool::FindVictim(size_t* out_idx) {
+Status BufferPool::FindVictim(Shard& shard, size_t* out_idx) {
   size_t best = frames_.size();
   uint64_t best_tick = UINT64_MAX;
-  for (size_t i = 0; i < frames_.size(); ++i) {
+  for (size_t i : shard.frames) {
     const Frame& f = *frames_[i];
+    if (f.io_in_progress) continue;
     if (f.page_id == kInvalidPageId) {
       *out_idx = i;
       return Status::OK();
@@ -108,80 +257,200 @@ Status BufferPool::FindVictim(size_t* out_idx) {
     }
   }
   if (best == frames_.size()) {
-    return Status::Busy("buffer pool exhausted: all pages pinned");
+    return Status::Busy("buffer pool shard exhausted: all pages pinned");
   }
   *out_idx = best;
   return Status::OK();
 }
 
-Status BufferPool::FlushFrameLocked(Frame& frame) {
-  if (!frame.dirty) return Status::OK();
+Status BufferPool::FlushFrame(Shard& shard, ShardLock& lk, Frame& f,
+                              bool latched) {
+  if (!f.dirty) {
+    if (latched) f.latch.ReleaseS();
+    return Status::OK();
+  }
+  const uint64_t epoch = f.dirty_epoch;
+  const PageId pid = f.page_id;
+  lk.lk.unlock();
+  // Latch-consistent snapshot: with the page latch in S, no X holder is
+  // mid-update, so the copied bytes are exactly the state the stamped page
+  // LSN covers — the disk image can never be torn relative to the WAL.
+  if (!latched) f.latch.AcquireS();
+  char* snap = FlushScratch();
+  memcpy(snap, f.data.get(), kPageSize);
+  f.latch.ReleaseS();
   // WAL protocol: the log must cover this page's last update before the
   // page overwrites its disk image.
-  Lsn lsn = PageGetLsn(frame.data.get());
+  const Lsn lsn = PageGetLsn(snap);
+  Status s;
   if (ensure_durable_ && lsn != kInvalidLsn) {
-    PITREE_RETURN_IF_ERROR(ensure_durable_(lsn));
+    s = DoEnsureDurable(lsn);
   }
-  PITREE_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, frame.data.get()));
-  frame.dirty = false;
-  frame.rec_lsn = kInvalidLsn;
-  return Status::OK();
+  if (s.ok()) s = DoWrite(pid, snap);
+  lk.lk.lock();
+  if (s.ok()) {
+    ++shard.stats.flushes;
+    // A writer may have dirtied the page again between the snapshot and
+    // here; clearing `dirty` then would shed a logged update from the DPT.
+    if (f.dirty_epoch == epoch) {
+      f.dirty = false;
+      f.rec_lsn = kInvalidLsn;
+    }
+  }
+  return s;
 }
 
 Status BufferPool::FlushPage(PageId id) {
-  std::lock_guard<std::mutex> guard(mu_);
-  auto it = table_.find(id);
-  if (it == table_.end()) return Status::OK();
-  return FlushFrameLocked(*frames_[it->second]);
+  Shard& shard = *shards_[ShardOf(id)];
+  ShardLock lk(shard);
+  for (;;) {
+    auto it = shard.table.find(id);
+    if (it == shard.table.end()) return Status::OK();
+    Frame& f = *frames_[it->second];
+    if (f.io_in_progress) {
+      shard.cv.wait(lk.lk);
+      continue;
+    }
+    assert(f.page_id == id);
+    // Pin so the frame cannot be evicted or reassigned while the lock is
+    // dropped for the latch wait and the write.
+    ++f.pin_count;
+    Status s = FlushFrame(shard, lk, f, /*latched=*/false);
+    --f.pin_count;
+    return s;
+  }
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> guard(mu_);
-  for (auto& f : frames_) {
-    if (f->page_id != kInvalidPageId) {
-      PITREE_RETURN_IF_ERROR(FlushFrameLocked(*f));
+  for (auto& sp : shards_) {
+    Shard& shard = *sp;
+    ShardLock lk(shard);
+    for (size_t idx : shard.frames) {
+      Frame& f = *frames_[idx];
+      while (f.io_in_progress) shard.cv.wait(lk.lk);
+      if (f.page_id == kInvalidPageId || !f.dirty) continue;
+      ++f.pin_count;
+      Status s = FlushFrame(shard, lk, f, /*latched=*/false);
+      --f.pin_count;
+      PITREE_RETURN_IF_ERROR(s);
     }
   }
   return Status::OK();
 }
 
 void BufferPool::DiscardAll() {
-  std::lock_guard<std::mutex> guard(mu_);
-  for (auto& f : frames_) {
-    assert(f->pin_count == 0);
-    f->page_id = kInvalidPageId;
-    f->dirty = false;
-    f->rec_lsn = kInvalidLsn;
+  for (auto& sp : shards_) {
+    Shard& shard = *sp;
+    ShardLock lk(shard);
+    for (size_t idx : shard.frames) {
+      Frame& f = *frames_[idx];
+      while (f.io_in_progress) shard.cv.wait(lk.lk);
+      assert(f.pin_count == 0);
+      f.page_id = kInvalidPageId;
+      f.dirty = false;
+      f.rec_lsn = kInvalidLsn;
+    }
+    shard.table.clear();
   }
-  table_.clear();
 }
 
 std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() const {
-  std::lock_guard<std::mutex> guard(mu_);
   std::vector<std::pair<PageId, Lsn>> dpt;
-  for (const auto& f : frames_) {
-    if (f->page_id != kInvalidPageId && f->dirty) {
-      dpt.emplace_back(f->page_id, f->rec_lsn);
+  for (const auto& sp : shards_) {
+    Shard& shard = *sp;
+    ShardLock lk(shard);
+    for (size_t idx : shard.frames) {
+      const Frame& f = *frames_[idx];
+      // A frame mid-eviction still reports: its dirty image is not yet
+      // known durable (the flag clears only after the write succeeds).
+      if (f.page_id != kInvalidPageId && f.dirty) {
+        dpt.emplace_back(f.page_id, f.rec_lsn);
+      }
     }
   }
   return dpt;
 }
 
 uint64_t BufferPool::miss_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return misses_;
+  uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    ShardLock lk(*sp);
+    total += sp->stats.misses;
+  }
+  return total;
+}
+
+PoolStats BufferPool::Stats() const {
+  PoolStats out;
+  out.shards.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    ShardLock lk(*sp);
+    out.shards.push_back(sp->stats);
+    out.total.hits += sp->stats.hits;
+    out.total.misses += sp->stats.misses;
+    out.total.evictions += sp->stats.evictions;
+    out.total.flushes += sp->stats.flushes;
+    out.total.io_waits += sp->stats.io_waits;
+  }
+  return out;
+}
+
+Status BufferPool::CheckConsistency() const {
+  for (size_t si = 0; si < shards_.size(); ++si) {
+    Shard& shard = *shards_[si];
+    ShardLock lk(shard);
+    std::unordered_map<PageId, size_t> held;  // page -> frame, from frames
+    for (size_t idx : shard.frames) {
+      const Frame& f = *frames_[idx];
+      if (f.shard != si) {
+        return Status::Corruption("frame listed in wrong shard");
+      }
+      if (f.pin_count < 0) {
+        return Status::Corruption("negative pin count");
+      }
+      if (f.page_id == kInvalidPageId) {
+        if (f.dirty) return Status::Corruption("free frame marked dirty");
+        continue;
+      }
+      if (ShardOf(f.page_id) != si) {
+        return Status::Corruption("page resident in wrong shard");
+      }
+      if (!held.emplace(f.page_id, idx).second) {
+        return Status::Corruption("two frames hold the same page");
+      }
+      if (!f.io_in_progress) {
+        auto it = shard.table.find(f.page_id);
+        if (it == shard.table.end() || it->second != idx) {
+          return Status::Corruption("resident page missing from table");
+        }
+      }
+    }
+    for (const auto& [pid, idx] : shard.table) {
+      const Frame& f = *frames_[idx];
+      if (f.shard != si) {
+        return Status::Corruption("table entry crosses shards");
+      }
+      // During an eviction the stolen frame is reachable under both its old
+      // and its new id; io_in_progress marks that transient.
+      if (f.page_id != pid && !f.io_in_progress) {
+        return Status::Corruption("table entry points at reassigned frame");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 void BufferPool::Unpin(size_t frame_idx) {
-  std::lock_guard<std::mutex> guard(mu_);
   Frame& f = *frames_[frame_idx];
+  ShardLock lk(*shards_[f.shard]);
   assert(f.pin_count > 0);
   --f.pin_count;
 }
 
-void BufferPool::MarkDirty(size_t frame_idx, Lsn lsn) {
-  std::lock_guard<std::mutex> guard(mu_);
+void BufferPool::MarkDirtyFrame(size_t frame_idx, Lsn lsn) {
   Frame& f = *frames_[frame_idx];
+  ShardLock lk(*shards_[f.shard]);
+  ++f.dirty_epoch;
   if (!f.dirty) {
     f.dirty = true;
     f.rec_lsn = lsn;

@@ -1,9 +1,9 @@
 #ifndef PITREE_STORAGE_BUFFER_POOL_H_
 #define PITREE_STORAGE_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -39,6 +39,14 @@ class PageHandle {
   Latch& latch() const;
   Lsn page_lsn() const { return PageGetLsn(data()); }
 
+  /// Enters the page into the dirty-page table *before* its log record is
+  /// appended. `rec_lsn` is the WAL append position (WalManager::next_lsn),
+  /// which is <= the record's eventual LSN. Without the reservation, a
+  /// checkpoint DPT snapshot taken between the record's append and
+  /// MarkDirty() would miss this page, and redo could start past the
+  /// record. No-op if the page is already dirty (the older recLSN stands).
+  void ReserveDirty(Lsn rec_lsn);
+
   /// Records that the caller modified the page under log record `lsn`.
   /// Updates the page LSN (state identifier) and the dirty-page table entry.
   void MarkDirty(Lsn lsn);
@@ -52,17 +60,51 @@ class PageHandle {
   size_t frame_idx_ = 0;
 };
 
-/// Fixed-capacity page cache with LRU eviction.
+/// Per-shard counters. A snapshot locks one shard at a time, so totals are
+/// per-shard consistent rather than a global instant.
+struct PoolShardStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;   // frames whose previous page was displaced
+  uint64_t flushes = 0;     // dirty images written through to disk
+  uint64_t io_waits = 0;    // fetchers that slept behind another's I/O
+};
+
+struct PoolStats {
+  std::vector<PoolShardStats> shards;
+  PoolShardStats total;  // element-wise sum over shards
+};
+
+/// Fixed-capacity page cache, sharded for multicore scaling.
+///
+/// Frames are statically partitioned into N shards (N a power of two; page
+/// id hashes pick the shard), each with its own mutex, hash table, and LRU
+/// clock, so fetches of distinct pages proceed in parallel. No shard mutex
+/// is ever held across disk I/O or a WAL force: a frame doing I/O is marked
+/// `io_in_progress` and the lock is dropped; concurrent fetchers of the
+/// same page wait on the shard's condition variable until the frame is
+/// published. While a dirty victim's image drains to disk, its old table
+/// entry stays in place, so a fetch of the evicted page cannot race the
+/// write and read a torn image from disk.
 ///
 /// Enforces write-ahead logging: before a dirty page goes to disk, the
-/// `ensure_durable` callback is invoked with the page's LSN so the WAL can be
-/// flushed at least that far.
+/// `ensure_durable` callback is invoked with the page's LSN so the WAL can
+/// be flushed at least that far. Every path that writes page bytes to disk
+/// (eviction, FlushPage, FlushAll) snapshots them under the frame's page
+/// latch in S, so a concurrent X-latch holder can never tear the on-disk
+/// image relative to its stamped LSN (§4.1 ordering).
+///
+/// Capacity exhaustion (Status::Busy) is per shard: a fetch fails when its
+/// page's shard has every frame pinned, even if other shards have room.
 class BufferPool {
  public:
   using EnsureDurableFn = std::function<Status(Lsn)>;
 
-  BufferPool(DiskManager* disk, size_t capacity,
-             EnsureDurableFn ensure_durable);
+  /// `shard_count` 0 picks a power of two near the hardware concurrency,
+  /// bounded so each shard keeps a healthy number of frames; an explicit
+  /// count is rounded down to a power of two and clamped to `capacity`.
+  BufferPool(DiskManager* disk, size_t capacity, EnsureDurableFn ensure_durable,
+             size_t shard_count = 0);
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
@@ -76,18 +118,30 @@ class BufferPool {
   /// Writes one page (if dirty) through to disk, honoring WAL order.
   Status FlushPage(PageId id);
 
-  /// Writes all dirty pages through to disk, honoring WAL order.
+  /// Writes all dirty pages through to disk, honoring WAL order. Pages
+  /// dirtied while the sweep is in flight may or may not be included;
+  /// callers wanting a clean image must quiesce writers first (shutdown
+  /// does).
   Status FlushAll();
 
   /// Drops every frame without writing. Requires no outstanding pins.
   /// Used by tests to model loss of volatile state.
   void DiscardAll();
 
-  /// Snapshot of (page id, recLSN) for every dirty page — the checkpoint DPT.
+  /// Snapshot of (page id, recLSN) for every dirty page — the checkpoint
+  /// DPT. Never under-reports: a page whose update was logged before this
+  /// call is either in the snapshot or already durably flushed (see
+  /// PageHandle::ReserveDirty for the append-side half of that guarantee).
   std::vector<std::pair<PageId, Lsn>> DirtyPageTable() const;
 
   size_t capacity() const { return frames_.size(); }
+  size_t shard_count() const { return shards_.size(); }
   uint64_t miss_count() const;
+  PoolStats Stats() const;
+
+  /// Verifies the table<->frame bijection invariants of every shard
+  /// (tests and the online auditor call this; it tolerates in-flight I/O).
+  Status CheckConsistency() const;
 
  private:
   friend class PageHandle;
@@ -98,28 +152,64 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     int pin_count = 0;
     bool dirty = false;
+    /// Set while this frame's bytes are in transit with no shard lock held
+    /// (read of a new page, or write-out of a dirty victim). The frame is
+    /// claimed: not evictable, not fetchable; waiters sleep on the shard CV.
+    bool io_in_progress = false;
     Lsn rec_lsn = kInvalidLsn;
+    /// Bumped by every dirtying; a flush clears `dirty` only if the epoch
+    /// did not move while its latch-consistent snapshot was being written.
+    uint64_t dirty_epoch = 0;
     uint64_t lru_tick = 0;
+    uint32_t shard = 0;  // immutable after construction
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;  // io_in_progress completions
+    std::unordered_map<PageId, size_t> table;
+    std::vector<size_t> frames;  // indices into frames_, fixed at startup
+    uint64_t tick = 0;
+    PoolShardStats stats;
+  };
+
+  /// Guard that also maintains the calling thread's held-shard count, so
+  /// the I/O wrappers can assert (debug builds) that no shard mutex is held
+  /// across ReadPage/WritePage/ensure_durable_.
+  struct ShardLock {
+    explicit ShardLock(Shard& s);
+    ~ShardLock();
+    std::unique_lock<std::mutex> lk;
+  };
+
+  size_t ShardOf(PageId id) const;
   Status FetchInternal(PageId id, bool zeroed, PageHandle* handle);
-  // Both require mu_ held.
-  Status FindVictim(size_t* out_idx);
-  Status FlushFrameLocked(Frame& frame);
+  // Requires the shard lock held.
+  Status FindVictim(Shard& shard, size_t* out_idx);
+  /// Writes the frame's dirty image to disk, WAL-first. The shard lock is
+  /// held on entry and re-held on return but dropped across the page-latch
+  /// wait, the WAL force, and the disk write; the caller must have made the
+  /// frame unreassignable meanwhile (pin or io_in_progress claim). With
+  /// `latched`, the caller already holds the frame's page latch in S and
+  /// this function releases it after the copy.
+  Status FlushFrame(Shard& shard, ShardLock& lk, Frame& f, bool latched);
+
+  // I/O wrappers: assert no shard mutex is held on this thread.
+  Status DoRead(PageId id, char* buf);
+  Status DoWrite(PageId id, const char* buf);
+  Status DoEnsureDurable(Lsn lsn);
 
   void Unpin(size_t frame_idx);
-  void MarkDirty(size_t frame_idx, Lsn lsn);
+  void MarkDirtyFrame(size_t frame_idx, Lsn lsn);
 
   DiskManager* const disk_;
   const EnsureDurableFn ensure_durable_;
 
-  mutable std::mutex mu_;
-  // unique_ptr because Frame contains a Latch, which is neither movable
-  // nor copyable.
+  // unique_ptr because Frame contains a Latch and Shard a mutex; neither is
+  // movable or copyable.
   std::vector<std::unique_ptr<Frame>> frames_;
-  std::unordered_map<PageId, size_t> table_;
-  uint64_t tick_ = 0;
-  uint64_t misses_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t shard_mask_ = 0;
 };
 
 }  // namespace pitree

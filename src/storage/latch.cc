@@ -6,19 +6,31 @@ namespace pitree {
 
 void Latch::AcquireS() {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return SOk(); });
+  if (!SOk()) {
+    ++s_waiters_;
+    cv_.wait(lk, [&] { return SOk(); });
+    --s_waiters_;
+  }
   ++readers_;
 }
 
 void Latch::AcquireU() {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return UOk(); });
+  if (!UOk()) {
+    ++u_waiters_;
+    cv_.wait(lk, [&] { return UOk(); });
+    --u_waiters_;
+  }
   u_held_ = true;
 }
 
 void Latch::AcquireX() {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return XOk(); });
+  if (!XOk()) {
+    ++x_waiters_;
+    cv_.wait(lk, [&] { return XOk(); });
+    --x_waiters_;
+  }
   x_held_ = true;
 }
 
@@ -43,25 +55,41 @@ bool Latch::TryAcquireX() {
   return true;
 }
 
+// Release paths wake waiters only when the transition could let one in:
+//  - dropping S matters only to the last reader out, and then only to an X
+//    waiter (with no U holder in the way) or a pending promoter;
+//  - dropping U can admit a U waiter, or an X waiter once readers drain;
+//    S admission never depended on the U holder;
+//  - dropping X can admit anyone.
+// A notify with no eligible waiter is pure overhead (every sleeper wakes,
+// re-evaluates its predicate under mu_, and sleeps again), which the old
+// unconditional notify_all paid on every reader exit under S-heavy loads.
+
 void Latch::ReleaseS() {
   std::lock_guard<std::mutex> lk(mu_);
   assert(readers_ > 0);
   --readers_;
-  cv_.notify_all();
+  if (readers_ == 0 && (promoting_ || (x_waiters_ > 0 && !u_held_))) {
+    cv_.notify_all();
+  }
 }
 
 void Latch::ReleaseU() {
   std::lock_guard<std::mutex> lk(mu_);
   assert(u_held_);
   u_held_ = false;
-  cv_.notify_all();
+  if (u_waiters_ > 0 || (x_waiters_ > 0 && readers_ == 0)) {
+    cv_.notify_all();
+  }
 }
 
 void Latch::ReleaseX() {
   std::lock_guard<std::mutex> lk(mu_);
   assert(x_held_);
   x_held_ = false;
-  cv_.notify_all();
+  if (s_waiters_ > 0 || u_waiters_ > 0 || x_waiters_ > 0) {
+    cv_.notify_all();
+  }
 }
 
 void Latch::PromoteUToX() {
@@ -72,6 +100,8 @@ void Latch::PromoteUToX() {
   u_held_ = false;
   promoting_ = false;
   x_held_ = true;
+  // Completing the promotion enables nobody: X is now held, so every
+  // predicate stays false until ReleaseX/DemoteXToU.
 }
 
 void Latch::DemoteXToU() {
@@ -79,7 +109,8 @@ void Latch::DemoteXToU() {
   assert(x_held_);
   x_held_ = false;
   u_held_ = true;
-  cv_.notify_all();
+  // Only S waiters can proceed under the new U holder.
+  if (s_waiters_ > 0) cv_.notify_all();
 }
 
 void Latch::Release(LatchMode mode) {

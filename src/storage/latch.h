@@ -61,6 +61,13 @@ class Latch {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   int readers_ = 0;
+  // Waiter counts per requested mode, so release paths notify only when the
+  // state change could actually unblock someone (a reader releasing with
+  // other readers still in cannot, for example). The pending promoter waits
+  // on readers_ == 0 and is covered by the promoting_ flag.
+  int s_waiters_ = 0;
+  int u_waiters_ = 0;
+  int x_waiters_ = 0;
   bool u_held_ = false;
   bool x_held_ = false;
   bool promoting_ = false;

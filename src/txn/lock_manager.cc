@@ -51,14 +51,24 @@ LockMode LockModeSupremum(LockMode a, LockMode b) {
 // lock forever (§4.2.2 requires the move to win eventually).
 // Conversions are exempt (they test only granted locks) so upgrades cannot
 // be wedged behind fresh waiters.
+//
+// Granted locks must be honored wherever they sit in the queue — including
+// BEHIND the requester. A later arrival can be granted past a sleeping
+// waiter (compatible at the time), then strengthen by conversion; stopping
+// the scan at our own entry made that granted X invisible and handed an S
+// out alongside it (a lost-update hole: the S reader sees the pre-X image).
+// Only the fairness rule for ungranted requests is position-dependent.
 bool LockManager::Grantable(const Queue& q, TxnId txn, LockMode mode) const {
+  bool ahead = true;  // still scanning entries queued before our request
   for (const auto& r : q) {
     if (r.txn == txn) {
-      if (!r.granted) break;  // reached our own queued request: done
+      if (!r.granted) ahead = false;
       continue;
     }
     if (r.granted && !LockModesCompatible(r.mode, mode)) return false;
-    if (!r.granted && !LockModesCompatible(r.mode, mode)) return false;
+    if (!r.granted && ahead && !LockModesCompatible(r.mode, mode)) {
+      return false;
+    }
   }
   return true;
 }
@@ -118,6 +128,26 @@ bool LockManager::WaitWouldDeadlock(TxnId waiter) const {
   return false;
 }
 
+namespace {
+template <typename Q>
+void CheckGrantInvariant(const Q& q, const char* where) {
+  for (auto a = q.begin(); a != q.end(); ++a) {
+    if (!a->granted) continue;
+    for (auto b = std::next(a); b != q.end(); ++b) {
+      if (!b->granted || b->txn == a->txn) continue;
+      if (!LockModesCompatible(a->mode, b->mode)) {
+        fprintf(stderr,
+                "lock invariant violated (%s): txn %llu mode %d vs txn %llu "
+                "mode %d both granted\n",
+                where, (unsigned long long)a->txn, (int)a->mode,
+                (unsigned long long)b->txn, (int)b->mode);
+        abort();
+      }
+    }
+  }
+}
+}  // namespace
+
 Status LockManager::Lock(Transaction* txn, const std::string& resource,
                          LockMode mode, bool wait) {
   std::unique_lock<std::mutex> lk(mu_);
@@ -162,6 +192,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
       }
     }
     held->second = target;
+    CheckGrantInvariant(q, "conversion");
     cv_.notify_all();
     return Status::OK();
   }
@@ -193,6 +224,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
     }
   }
   txn->held_locks[resource] = mode;
+  CheckGrantInvariant(q, "fresh");
   cv_.notify_all();
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "env/fault_plan.h"
 #include "env/sim_env.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -140,6 +141,138 @@ TEST_F(BufferPoolTest, HandleMoveTransfersPin) {
   EXPECT_FALSE(a.valid());
   EXPECT_TRUE(b.valid());
   EXPECT_EQ(b.id(), 1u);
+}
+
+TEST_F(BufferPoolTest, ReserveDirtyEntersDptBeforeMarkDirty) {
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPageZeroed(5, &h).ok());
+  PageInitHeader(h.data(), 5, PageType::kTreeNode);
+  h.ReserveDirty(80);  // WAL append position before the record goes in
+  auto dpt = pool_->DirtyPageTable();
+  ASSERT_EQ(dpt.size(), 1u);
+  EXPECT_EQ(dpt[0].first, 5u);
+  EXPECT_EQ(dpt[0].second, 80u);
+  h.MarkDirty(100);  // the record's actual LSN; reserved recLSN stands
+  dpt = pool_->DirtyPageTable();
+  ASSERT_EQ(dpt.size(), 1u);
+  EXPECT_EQ(dpt[0].second, 80u);
+  EXPECT_EQ(h.page_lsn(), 100u);
+}
+
+TEST_F(BufferPoolTest, StatsCountHitsMissesEvictionsFlushes) {
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(2, &h).ok());
+    PageInitHeader(h.data(), 2, PageType::kTreeNode);
+    h.MarkDirty(10);
+  }
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPage(2, &h).ok());  // hit
+  }
+  for (PageId id = 10; id < 16; ++id) {  // overflow the 4-frame pool
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(id, &h).ok());
+  }
+  PoolStats st = pool_->Stats();
+  EXPECT_EQ(st.shards.size(), pool_->shard_count());
+  EXPECT_GE(st.total.hits, 1u);
+  EXPECT_GE(st.total.misses, 7u);
+  EXPECT_GE(st.total.evictions, 3u);
+  EXPECT_GE(st.total.flushes, 1u);  // page 2's dirty image went out
+  EXPECT_EQ(st.total.misses, pool_->miss_count());
+  EXPECT_TRUE(pool_->CheckConsistency().ok());
+}
+
+// Regression (phantom frame): if the disk read of a miss fails after the
+// victim was displaced, the frame must return to the free list with no
+// identity. The old code left the victim's stale page_id on an unmapped
+// frame; a later fetch of that page then loaded a *second* frame for the
+// same id, and the stale frame's eventual eviction erased the live table
+// entry — after which updates to the page silently diverged.
+TEST_F(BufferPoolTest, FailedReadLeavesNoPhantomFrame) {
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+
+  // Fill the pool; make page 2 dirty so it has a distinguishable image.
+  for (PageId id = 0; id < 4; ++id) {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(id, &h).ok());
+    PageInitHeader(h.data(), id, PageType::kTreeNode);
+    memcpy(h.data() + kPageHeaderSize, "seed", 4);
+    h.MarkDirty(10 + id);
+  }
+  // Next read (the miss for page 99) fails once.
+  plan.FailNth(FaultOp::kRead, plan.op_count(FaultOp::kRead),
+               Status::IOError("injected read fault"));
+  PageHandle h;
+  Status s = pool_->FetchPage(99, &h);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  ASSERT_TRUE(pool_->CheckConsistency().ok());
+
+  // Every original page must still be fetchable exactly once each (no
+  // duplicate frames), with its bytes intact.
+  for (PageId id = 0; id < 4; ++id) {
+    PageHandle p;
+    ASSERT_TRUE(pool_->FetchPage(id, &p).ok());
+    EXPECT_EQ(memcmp(p.data() + kPageHeaderSize, "seed", 4), 0)
+        << "page " << id;
+  }
+  // And the failed page loads fine now that the fault rule is spent.
+  ASSERT_TRUE(pool_->FetchPage(99, &h).ok());
+  EXPECT_TRUE(pool_->CheckConsistency().ok());
+}
+
+// A failed eviction write-out must not shed the victim's dirty image: the
+// frame keeps its identity and stays dirty (the logged update is still
+// volatile-only), and only the fetch that needed the frame fails.
+TEST_F(BufferPoolTest, FailedEvictionFlushKeepsVictimDirty) {
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+
+  for (PageId id = 0; id < 4; ++id) {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(id, &h).ok());
+    PageInitHeader(h.data(), id, PageType::kTreeNode);
+    h.MarkDirty(10 + id);
+  }
+  plan.FailNth(FaultOp::kWrite, plan.op_count(FaultOp::kWrite),
+               Status::IOError("injected write fault"));
+  PageHandle h;
+  Status s = pool_->FetchPage(99, &h);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  ASSERT_TRUE(pool_->CheckConsistency().ok());
+  // All four dirty pages are still in the DPT — nothing was lost.
+  EXPECT_EQ(pool_->DirtyPageTable().size(), 4u);
+  // With the fault spent, the eviction goes through.
+  ASSERT_TRUE(pool_->FetchPage(99, &h).ok());
+  EXPECT_TRUE(pool_->CheckConsistency().ok());
+}
+
+TEST_F(BufferPoolTest, ExplicitShardCountIsClampedToPowerOfTwo) {
+  BufferPool p(&disk_, /*capacity=*/8, nullptr, /*shard_count=*/3);
+  EXPECT_EQ(p.shard_count(), 2u);
+  BufferPool q(&disk_, /*capacity=*/2, nullptr, /*shard_count=*/16);
+  EXPECT_EQ(q.shard_count(), 2u);
+  BufferPool r(&disk_, /*capacity=*/64, nullptr, /*shard_count=*/4);
+  EXPECT_EQ(r.shard_count(), 4u);
+  EXPECT_EQ(r.capacity(), 64u);
+}
+
+TEST_F(BufferPoolTest, ShardedPoolServesDistinctPagesAndEvicts) {
+  BufferPool p(&disk_, /*capacity=*/64, nullptr, /*shard_count=*/8);
+  // Work over more pages than frames so every shard fetches and evicts.
+  for (int round = 0; round < 3; ++round) {
+    for (PageId id = 0; id < 200; ++id) {
+      PageHandle h;
+      ASSERT_TRUE(p.FetchPageZeroed(id, &h).ok());
+      PageInitHeader(h.data(), id, PageType::kTreeNode);
+      h.MarkDirty(1 + id);
+    }
+  }
+  EXPECT_TRUE(p.CheckConsistency().ok());
+  EXPECT_TRUE(p.FlushAll().ok());
+  EXPECT_TRUE(p.DirtyPageTable().empty());
 }
 
 }  // namespace

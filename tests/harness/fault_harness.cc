@@ -53,6 +53,9 @@ Options WorkloadOptions(const ExplorerConfig& cfg) {
   // file then only changes through explicit flushes (checkpoint, shutdown),
   // keeping the event journal — and so the crash-state space — compact.
   opts.buffer_pool_pages = 4096;
+  // Exercise the sharded pool paths (per-shard tables, I/O outside the shard
+  // lock) under every explored crash schedule, not just the 1-shard layout.
+  opts.buffer_pool_shards = 4;
   return opts;
 }
 

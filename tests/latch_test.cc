@@ -128,6 +128,42 @@ TEST(LatchTest, UPromotionSerializesReadModifyWrite) {
   EXPECT_EQ(value, kThreads * kIters);
 }
 
+// The starvation guard in SOk(): a *blocking* S acquire that arrives while
+// a U->X promotion is pending must not slip in ahead of the promoter, and
+// must stay blocked through the promoted X term.
+TEST(LatchTest, BlockingSAcquireWaitsOutPendingPromotion) {
+  Latch l;
+  l.AcquireU();
+  l.AcquireS();  // pre-existing reader the promoter has to drain
+  std::atomic<bool> promoted{false};
+  std::atomic<bool> s_acquired{false};
+  std::thread promoter([&] {
+    l.PromoteUToX();
+    promoted.store(true);
+  });
+  // Wait until the promotion is genuinely pending: new S admission refused.
+  while (l.TryAcquireS()) {
+    l.ReleaseS();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::thread reader([&] {
+    l.AcquireS();
+    s_acquired.store(true);
+    l.ReleaseS();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(promoted.load());    // old reader still in
+  EXPECT_FALSE(s_acquired.load());  // new reader held out by the promoter
+  l.ReleaseS();                     // drain: promotion must now complete
+  promoter.join();
+  EXPECT_TRUE(promoted.load());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(s_acquired.load());  // still blocked: promoter holds X
+  l.ReleaseX();
+  reader.join();
+  EXPECT_TRUE(s_acquired.load());
+}
+
 TEST(LatchTest, ReadersProgressAlongsideUHolder) {
   Latch l;
   l.AcquireU();

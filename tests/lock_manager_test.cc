@@ -200,5 +200,50 @@ TEST(LockManagerTest, ManyThreadsManyResourcesNoLostGrants) {
   }
 }
 
+// Regression: a granted lock must be visible to waiters queued ahead of it.
+// Old Grantable() stopped scanning at the requester's own queued entry, so
+// this interleaving handed out S alongside a converted X:
+//   T1 holds X; T2 blocks waiting for S (queued behind T1).
+//   T1 releases; T3 arrives, is granted S (entry lands behind T2's), and
+//   converts S->X (conversions check only granted locks — T2 is ungranted).
+//   T2 wakes, scans up to its own entry, sees nothing incompatible, and
+//   grants itself S alongside the X.
+// The S reader then reads the pre-X image: a lost update. Exercised here as
+// a bare lock-level upsert (S read, convert to X, write): TSan flags the
+// S/X overlap as a data race, and the final count exposes it functionally.
+TEST(LockManagerTest, ConvertedXStaysVisibleToSleepingSWaiter) {
+  LockManager lm;
+  const int kThreads = 4, kCommitsPerThread = 300;
+  int value = 0;  // guarded by "counter": read under S, written under X
+  std::atomic<TxnId> next_id{1};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      int done = 0;
+      while (done < kCommitsPerThread) {
+        Transaction txn = MakeTxn(next_id.fetch_add(1));
+        if (!lm.Lock(&txn, "counter", LockMode::kS).ok()) {
+          lm.ReleaseAll(&txn);  // deadlock victim before reading: retry
+          continue;
+        }
+        int snapshot = value;
+        if (!lm.Lock(&txn, "counter", LockMode::kX).ok()) {
+          lm.ReleaseAll(&txn);  // conversion deadlock: retry, fresh read
+          continue;
+        }
+        // Hold X across a delay, like the engine holds it across the WAL
+        // append: the hole only shows when a sleeping S waiter wakes while
+        // the converted X is still held.
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        value = snapshot + 1;
+        lm.ReleaseAll(&txn);
+        ++done;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(value, kThreads * kCommitsPerThread);
+}
+
 }  // namespace
 }  // namespace pitree
