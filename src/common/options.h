@@ -18,6 +18,14 @@ struct Options {
   /// parallel). 0 picks automatically from the hardware concurrency,
   /// bounded so every shard keeps enough frames; an explicit value is
   /// rounded down to a power of two and clamped to the capacity.
+  ///
+  /// Capacity exhaustion (Status::Busy) is per shard: a fetch fails when
+  /// the target page's shard has every frame pinned, even if other shards
+  /// have free frames. An explicit count should keep at least ~16 frames
+  /// per shard (buffer_pool_pages / buffer_pool_shards >= 16) — the same
+  /// floor auto-sizing enforces — or workloads that pin many pages at once
+  /// can hit Busy on a pool that would have succeeded unsharded. Smaller
+  /// ratios are intended for tests that target shard-local behavior.
   size_t buffer_pool_shards = 0;
 
   /// CP vs. CNS (§5.2). When false, node consolidation never runs; the tree

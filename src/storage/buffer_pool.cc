@@ -49,7 +49,19 @@ char* FlushScratch() {
 
 BufferPool::ShardLock::ShardLock(Shard& s) : lk(s.mu) { ++t_shard_locks_held; }
 
-BufferPool::ShardLock::~ShardLock() { --t_shard_locks_held; }
+BufferPool::ShardLock::~ShardLock() {
+  if (lk.owns_lock()) --t_shard_locks_held;
+}
+
+void BufferPool::ShardLock::Unlock() {
+  --t_shard_locks_held;
+  lk.unlock();
+}
+
+void BufferPool::ShardLock::Lock() {
+  lk.lock();
+  ++t_shard_locks_held;
+}
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
   if (this != &other) {
@@ -169,6 +181,7 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
   ++shard.stats.misses;
   size_t idx;
   Frame* victim = nullptr;
+  size_t latch_skips = 0;
   for (;;) {
     PITREE_RETURN_IF_ERROR(FindVictim(shard, &idx));
     victim = frames_[idx].get();
@@ -180,6 +193,12 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
     // up as a skipped victim instead of a deadlock.
     if (victim->latch.TryAcquireS()) break;
     assert(false && "unpinned victim frame latch held");
+    // Release build: if the invariant is somehow broken, degrade to Busy
+    // after one full pass over the shard rather than spinning forever
+    // under the shard mutex.
+    if (++latch_skips > shard.frames.size()) {
+      return Status::Busy("buffer pool shard: no latch-free victim");
+    }
     victim->lru_tick = ++shard.tick;  // deprioritize, look again
   }
   Frame& f = *victim;
@@ -220,9 +239,9 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
   if (zeroed) {
     memset(f.data.get(), 0, kPageSize);
   } else {
-    lk.lk.unlock();
+    lk.Unlock();
     s = DoRead(id, f.data.get());
-    lk.lk.lock();
+    lk.Lock();
   }
 
   if (!s.ok()) {
@@ -271,7 +290,7 @@ Status BufferPool::FlushFrame(Shard& shard, ShardLock& lk, Frame& f,
   }
   const uint64_t epoch = f.dirty_epoch;
   const PageId pid = f.page_id;
-  lk.lk.unlock();
+  lk.Unlock();
   // Latch-consistent snapshot: with the page latch in S, no X holder is
   // mid-update, so the copied bytes are exactly the state the stamped page
   // LSN covers — the disk image can never be torn relative to the WAL.
@@ -287,7 +306,7 @@ Status BufferPool::FlushFrame(Shard& shard, ShardLock& lk, Frame& f,
     s = DoEnsureDurable(lsn);
   }
   if (s.ok()) s = DoWrite(pid, snap);
-  lk.lk.lock();
+  lk.Lock();
   if (s.ok()) {
     ++shard.stats.flushes;
     // A writer may have dirtied the page again between the snapshot and

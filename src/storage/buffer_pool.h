@@ -103,6 +103,9 @@ class BufferPool {
   /// `shard_count` 0 picks a power of two near the hardware concurrency,
   /// bounded so each shard keeps a healthy number of frames; an explicit
   /// count is rounded down to a power of two and clamped to `capacity`.
+  /// Explicit counts should keep capacity/shards >= 16 (the auto-sizing
+  /// floor) — see Options::buffer_pool_shards for why; smaller ratios are
+  /// for tests that target shard-local behavior.
   BufferPool(DiskManager* disk, size_t capacity, EnsureDurableFn ensure_durable,
              size_t shard_count = 0);
   BufferPool(const BufferPool&) = delete;
@@ -175,10 +178,15 @@ class BufferPool {
 
   /// Guard that also maintains the calling thread's held-shard count, so
   /// the I/O wrappers can assert (debug builds) that no shard mutex is held
-  /// across ReadPage/WritePage/ensure_durable_.
+  /// across ReadPage/WritePage/ensure_durable_. Manual drop/reacquire must
+  /// go through Unlock()/Lock() — never lk.unlock() directly — so the count
+  /// tracks actual ownership. CV waits on `lk` are fine as-is: the mutex is
+  /// reacquired before wait returns, and the sleeping thread runs no I/O.
   struct ShardLock {
     explicit ShardLock(Shard& s);
     ~ShardLock();
+    void Unlock();
+    void Lock();
     std::unique_lock<std::mutex> lk;
   };
 
