@@ -28,6 +28,15 @@ struct Options {
   /// ratios are intended for tests that target shard-local behavior.
   size_t buffer_pool_shards = 0;
 
+  /// Group-commit window for WAL commit forces, in microseconds. A force
+  /// parks the caller until its record is durable; the first waiter is
+  /// elected leader and waits this long before the batch sync so that
+  /// commits arriving meanwhile can join it — one sync then absorbs them
+  /// all. 0 = sync immediately when a waiter exists (lowest single-commit
+  /// latency; batching still happens for commits that arrive while a
+  /// previous batch's sync is in flight).
+  size_t wal_group_commit_window_us = 0;
+
   /// CP vs. CNS (§5.2). When false, node consolidation never runs; the tree
   /// uses the Consolidation-Not-Supported invariant: single-latch traversal,
   /// no latch coupling, saved paths trusted without re-verification of node

@@ -27,7 +27,8 @@ Status Database::Init(const Options& options, Env* env,
   }
 
   PITREE_RETURN_IF_ERROR(disk_.Open(env, name + ".db"));
-  PITREE_RETURN_IF_ERROR(wal_.Open(env, name + ".wal"));
+  PITREE_RETURN_IF_ERROR(
+      wal_.Open(env, name + ".wal", options.wal_group_commit_window_us));
   ctx_.wal = &wal_;
 
   pool_ = std::make_unique<BufferPool>(
@@ -132,7 +133,8 @@ Status Database::Init(const Options& options, Env* env,
 Database::~Database() {
   // Stop drains every queued completing action before joining the workers:
   // a clean shutdown finishes scheduled maintenance instead of losing it.
-  maintenance_->Stop();
+  // (Null when Init failed before constructing the service.)
+  if (maintenance_ != nullptr) maintenance_->Stop();
   // Best-effort clean shutdown; recovery handles anything missed.
   wal_.FlushAll().ok();
 }

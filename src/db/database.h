@@ -71,6 +71,9 @@ class Database {
   /// Buffer-pool counters (per-shard hits/misses/evictions/flushes/waits),
   /// for experiments and operational visibility.
   PoolStats pool_stats() const { return pool_->Stats(); }
+  /// Group-commit WAL counters (appends / batches / syncs / waiter
+  /// wakeups); a lock-free snapshot that never contends with appenders.
+  WalStats wal_stats() const { return wal_.stats(); }
   /// The background scheduler for all structure-maintenance work: sharded
   /// completion queues, the consolidation sweeper, and the online auditor.
   MaintenanceService* maintenance() { return maintenance_.get(); }

@@ -22,8 +22,10 @@ Status LogAndApply(EngineContext* ctx, Transaction* txn, PageHandle& page,
   // DPT reservation before the append: a checkpoint whose dirty-page scan
   // runs between Append and MarkDirty would otherwise miss this page while
   // the record already sits before its begin-checkpoint LSN — recovery
-  // would then start redo past it. next_lsn() <= the record's LSN, so the
-  // reserved recLSN is always early enough.
+  // would then start redo past it. next_lsn() is a lock-free read of the
+  // group-commit WAL's append point; under concurrent appenders it is a
+  // lower bound on the LSN our Append below assigns (LSNs only grow), so
+  // the reserved recLSN is always early enough.
   page.ReserveDirty(ctx->wal->next_lsn());
   Lsn lsn;
   PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn));

@@ -1,7 +1,9 @@
 #include "env/sim_env.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace pitree {
 
@@ -61,34 +63,42 @@ class SimFile : public File {
   }
 
   Status Sync() override {
-    std::lock_guard<std::mutex> guard(*mu_);
-    FaultPlan* plan = env_->fault_plan();
-    if (plan != nullptr) {
-      // A failed sync makes nothing durable; the dirty range stays armed so
-      // a retry (or a torn crash) still sees the in-flight bytes.
-      PITREE_RETURN_IF_ERROR(plan->BeforeOp(FaultOp::kSync, name_));
-    }
-    SimEnv::FileState& st = *state_;
-    size_t delta_lo = st.dirty_lo;
-    size_t delta_hi = std::min(st.dirty_hi, st.volatile_.size());
-    if (st.durable.size() != st.volatile_.size()) {
-      st.durable.resize(st.volatile_.size(), '\0');
-    }
-    if (st.dirty_hi > st.dirty_lo) {
-      if (delta_hi > delta_lo) {
-        memcpy(st.durable.data() + delta_lo, st.volatile_.data() + delta_lo,
-               delta_hi - delta_lo);
+    {
+      std::lock_guard<std::mutex> guard(*mu_);
+      FaultPlan* plan = env_->fault_plan();
+      if (plan != nullptr) {
+        // A failed sync makes nothing durable; the dirty range stays armed
+        // so a retry (or a torn crash) still sees the in-flight bytes.
+        PITREE_RETURN_IF_ERROR(plan->BeforeOp(FaultOp::kSync, name_));
       }
-      st.dirty_lo = st.dirty_hi = 0;
+      SimEnv::FileState& st = *state_;
+      size_t delta_lo = st.dirty_lo;
+      size_t delta_hi = std::min(st.dirty_hi, st.volatile_.size());
+      if (st.durable.size() != st.volatile_.size()) {
+        st.durable.resize(st.volatile_.size(), '\0');
+      }
+      if (st.dirty_hi > st.dirty_lo) {
+        if (delta_hi > delta_lo) {
+          memcpy(st.durable.data() + delta_lo, st.volatile_.data() + delta_lo,
+                 delta_hi - delta_lo);
+        }
+        st.dirty_lo = st.dirty_hi = 0;
+      }
+      ++*sync_count_;
+      if (plan != nullptr && plan->recording() && delta_hi > delta_lo) {
+        SyncEvent ev;
+        ev.file = name_;
+        ev.offset = delta_lo;
+        ev.bytes.assign(st.durable.data() + delta_lo, delta_hi - delta_lo);
+        ev.durable_size = st.durable.size();
+        plan->RecordEvent(std::move(ev));
+      }
     }
-    ++*sync_count_;
-    if (plan != nullptr && plan->recording() && delta_hi > delta_lo) {
-      SyncEvent ev;
-      ev.file = name_;
-      ev.offset = delta_lo;
-      ev.bytes.assign(st.durable.data() + delta_lo, delta_hi - delta_lo);
-      ev.durable_size = st.durable.size();
-      plan->RecordEvent(std::move(ev));
+    // Modeled device latency, paid outside the env mutex so only the
+    // syncing thread stalls (durability above already took effect).
+    uint64_t delay = env_->sync_delay_us();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
     }
     return Status::OK();
   }

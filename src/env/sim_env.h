@@ -1,6 +1,7 @@
 #ifndef PITREE_ENV_SIM_ENV_H_
 #define PITREE_ENV_SIM_ENV_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,6 +54,19 @@ class SimEnv : public Env {
   /// point; benchmark instrumentation and crash-schedule enumeration).
   uint64_t sync_count() const;
 
+  /// Models device fsync latency: every successful File::Sync() sleeps this
+  /// long after its durability took effect, outside the env mutex (one
+  /// file's sync does not block other files' reads/writes, but the syncing
+  /// thread pays the latency). 0 (default) sleeps nothing — tests are
+  /// unaffected; the group-commit benchmark uses this so that sync *count*
+  /// differences translate into time, as on real storage.
+  void set_sync_delay_us(uint64_t us) {
+    sync_delay_us_.store(us, std::memory_order_relaxed);
+  }
+  uint64_t sync_delay_us() const {
+    return sync_delay_us_.load(std::memory_order_relaxed);
+  }
+
   /// Internal per-file state; public so the File implementation (an
   /// implementation-detail class in the .cc) can reference it.
   /// The dirty range makes Sync() O(bytes written since the last sync)
@@ -72,6 +86,7 @@ class SimEnv : public Env {
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<FileState>> files_;
   uint64_t sync_count_ = 0;
+  std::atomic<uint64_t> sync_delay_us_{0};
   FaultPlan* fault_plan_ = nullptr;
 };
 

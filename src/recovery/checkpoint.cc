@@ -72,6 +72,8 @@ Status CheckpointManager::TakeCheckpoint() {
   end.misc = EncodeCheckpoint(data);
   Lsn end_lsn;
   PITREE_RETURN_IF_ERROR(wal_->Append(end, &end_lsn));
+  // Group force: on return durable_lsn() > end_lsn, so the master record
+  // below never points at a checkpoint the log does not durably contain.
   PITREE_RETURN_IF_ERROR(wal_->Flush(end_lsn));
 
   std::string master;

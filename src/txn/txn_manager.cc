@@ -38,8 +38,12 @@ Status TxnManager::Commit(Transaction* txn) {
     PITREE_RETURN_IF_ERROR(wal_->Append(MakeCommit(txn->id, txn->last_lsn),
                                         &lsn));
     if (!txn->is_system) {
-      // Durability for user transactions. Atomic actions rely on relative
-      // durability (§4.3.1): no force here.
+      // Durability for user transactions: park on the group-commit pipeline
+      // until the commit record is durable. The wait holds no latches or
+      // locks (No-Wait Rule, §4.1) — record locks are still held, but those
+      // are released below only after durability, preserving strictness —
+      // and one batch sync releases every commit whose record joined it.
+      // Atomic actions rely on relative durability (§4.3.1): no force here.
       PITREE_RETURN_IF_ERROR(wal_->Flush(lsn));
     }
   }

@@ -1,13 +1,50 @@
 #include "wal/wal_manager.h"
 
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "wal/log_reader.h"
 
 namespace pitree {
 
-Status WalManager::Open(Env* env, const std::string& path) {
-  std::lock_guard<std::mutex> guard(mu_);
+namespace {
+
+// Number of times the current thread holds the WAL append mutex. The force
+// path is built so this is 0 at every file Write/Sync; the I/O wrappers
+// assert it (debug builds) so a regression fails loudly instead of
+// re-convoying every appender behind one thread's fsync.
+thread_local int t_wal_mu_held = 0;
+
+constexpr size_t kFrameHeaderSize = 8;  // crc32 + payload length
+
+}  // namespace
+
+WalManager::MuLock::MuLock(const WalManager& w) : lk(w.mu_) {
+  ++t_wal_mu_held;
+}
+
+WalManager::MuLock::~MuLock() {
+  if (lk.owns_lock()) --t_wal_mu_held;
+}
+
+void WalManager::MuLock::Unlock() {
+  --t_wal_mu_held;
+  lk.unlock();
+}
+
+void WalManager::MuLock::Lock() {
+  lk.lock();
+  ++t_wal_mu_held;
+}
+
+Status WalManager::Open(Env* env, const std::string& path,
+                        uint64_t group_commit_window_us) {
+  MuLock lk(*this);
+  window_us_ = group_commit_window_us;
   PITREE_RETURN_IF_ERROR(env->OpenFile(path, &file_));
   // Scan for the end of the valid prefix; a torn tail from a crash is
   // ignored and will be overwritten by subsequent appends.
@@ -23,8 +60,8 @@ Status WalManager::Open(Env* env, const std::string& path) {
   // (an I/O fault, or a malformed body behind a valid CRC) must surface
   // instead of silently truncating committed history at the failure point.
   if (!scan.IsNotFound()) return scan;
-  pending_base_ = end;
-  durable_ = end;
+  durable_.store(end, std::memory_order_release);
+  next_.store(end, std::memory_order_release);
   // Drop any torn bytes so appends extend a clean prefix.
   if (file_->Size() > end) {
     PITREE_RETURN_IF_ERROR(file_->Truncate(end));
@@ -33,83 +70,189 @@ Status WalManager::Open(Env* env, const std::string& path) {
 }
 
 Status WalManager::Append(const LogRecord& rec, Lsn* lsn) {
-  std::lock_guard<std::mutex> guard(mu_);
+  // Encode outside the mutex: the critical section below is a reservation
+  // plus two memcpys, never CPU-bound work and never file I/O.
   std::string payload;
   rec.EncodeTo(&payload);
-  *lsn = pending_base_ + pending_.size();
-  char header[8];
-  EncodeFixed32(header,
-                MaskCrc(Crc32c(payload.data(), payload.size())));
+  char header[kFrameHeaderSize];
+  EncodeFixed32(header, MaskCrc(Crc32c(payload.data(), payload.size())));
   EncodeFixed32(header + 4, static_cast<uint32_t>(payload.size()));
-  pending_.append(header, sizeof(header));
-  pending_.append(payload);
+
+  MuLock lk(*this);
+  *lsn = next_.load(std::memory_order_relaxed);
+  frame_starts_.push_back(*lsn);
+  active_.append(header, sizeof(header));
+  active_.append(payload);
+  next_.store(*lsn + sizeof(header) + payload.size(),
+              std::memory_order_release);
+  n_appends_.fetch_add(1, std::memory_order_relaxed);
+  n_appended_bytes_.fetch_add(sizeof(header) + payload.size(),
+                              std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status WalManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (lsn >= pending_base_) {
-    size_t off = lsn - pending_base_;
-    if (off + 8 > pending_.size()) {
+  MuLock lk(*this);
+  const Lsn durable = durable_.load(std::memory_order_relaxed);
+  if (lsn >= durable) {
+    // Buffered path: the bytes live in the flushing or active segment. The
+    // caller-supplied lsn is only trusted after a boundary check — a
+    // mid-frame offset must fail cleanly, not decode garbage.
+    if (lsn >= next_.load(std::memory_order_relaxed)) {
       return Status::InvalidArgument("lsn beyond log end");
     }
-    uint32_t expected_crc = UnmaskCrc(DecodeFixed32(pending_.data() + off));
-    uint32_t len = DecodeFixed32(pending_.data() + off + 4);
-    if (off + 8 + len > pending_.size()) {
+    if (!std::binary_search(frame_starts_.begin(), frame_starts_.end(),
+                            lsn)) {
+      return Status::InvalidArgument("lsn is not a record boundary");
+    }
+    const std::string* buf = &flushing_;
+    Lsn base = durable;
+    if (lsn >= durable + flushing_.size()) {
+      buf = &active_;
+      base = durable + flushing_.size();
+    }
+    size_t off = lsn - base;
+    if (off + kFrameHeaderSize > buf->size()) {
       return Status::Corruption("truncated buffered record");
     }
-    const char* payload = pending_.data() + off + 8;
+    uint32_t expected_crc = UnmaskCrc(DecodeFixed32(buf->data() + off));
+    uint32_t len = DecodeFixed32(buf->data() + off + 4);
+    if (off + kFrameHeaderSize + len > buf->size()) {
+      return Status::Corruption("truncated buffered record");
+    }
+    const char* payload = buf->data() + off + kFrameHeaderSize;
     if (Crc32c(payload, len) != expected_crc) {
       return Status::Corruption("buffered record crc");
     }
     PITREE_RETURN_IF_ERROR(rec->DecodeFrom(Slice(payload, len)));
     rec->lsn = lsn;
-    rec->next_lsn = lsn + 8 + len;
+    rec->next_lsn = lsn + kFrameHeaderSize + len;
     return Status::OK();
   }
+  // Durable path: the leader only writes at offsets >= durable_, so this
+  // read never races the in-flight batch's range.
   LogReader reader(file_.get(), lsn);
   return reader.ReadNext(rec);
 }
 
 Status WalManager::Flush(Lsn lsn) {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (lsn < durable_) return Status::OK();
-  if (pending_.empty()) return Status::OK();
-  PITREE_RETURN_IF_ERROR(file_->Write(pending_base_, pending_));
-  PITREE_RETURN_IF_ERROR(file_->Sync());
-  pending_base_ += pending_.size();
-  pending_.clear();
-  durable_ = pending_base_;
-  ++flushes_;
-  return Status::OK();
+  // Durable through the record *at* lsn: every frame boundary below
+  // durable_ is fully synced, so durable_ > lsn suffices.
+  return WaitUntilDurable(lsn + 1);
 }
 
 Status WalManager::FlushAll() {
-  // Flushing "everything" == flushing through the last appended byte.
-  std::lock_guard<std::mutex> guard(mu_);
-  if (pending_.empty()) return Status::OK();
-  PITREE_RETURN_IF_ERROR(file_->Write(pending_base_, pending_));
-  PITREE_RETURN_IF_ERROR(file_->Sync());
-  pending_base_ += pending_.size();
-  pending_.clear();
-  durable_ = pending_base_;
-  ++flushes_;
+  return WaitUntilDurable(next_.load(std::memory_order_acquire));
+}
+
+Status WalManager::WaitUntilDurable(Lsn upto) {
+  if (durable_.load(std::memory_order_acquire) >= upto) return Status::OK();
+  MuLock lk(*this);
+  // Nothing beyond the append point can be waited for (Flush of the last
+  // record and FlushAll both land here).
+  upto = std::min<Lsn>(upto, next_.load(std::memory_order_relaxed));
+  bool slept = false;
+  for (;;) {
+    if (durable_.load(std::memory_order_relaxed) >= upto) {
+      if (slept) n_waiter_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    if (!flush_in_progress_) {
+      // Leader election: this waiter owns the next batch. Everyone arriving
+      // meanwhile appends into the active segment and parks below.
+      flush_in_progress_ = true;
+      if (window_us_ > 0) {
+        // Group-commit window: give concurrent commits time to append their
+        // records before the segment swap, without holding the mutex.
+        lk.Unlock();
+        std::this_thread::sleep_for(std::chrono::microseconds(window_us_));
+        lk.Lock();
+      }
+      Status s = FlushBatchLocked(lk);
+      flush_in_progress_ = false;
+      cv_durable_.notify_all();
+      if (!s.ok()) return s;
+      // The swap took every append up to (at least) upto; loop to confirm
+      // and handle the retry-after-failure case where the staged batch
+      // predated our bytes.
+      continue;
+    }
+    // Follower: park holding nothing but this mutex, which the wait
+    // releases. Wake on any durability publish, batch failure, or the
+    // leadership becoming vacant.
+    const uint64_t epoch = error_epoch_;
+    const Lsn seen = durable_.load(std::memory_order_relaxed);
+    slept = true;
+    cv_durable_.wait(lk.lk, [&] {
+      return durable_.load(std::memory_order_relaxed) != seen ||
+             error_epoch_ != epoch || !flush_in_progress_;
+    });
+    if (error_epoch_ != epoch &&
+        durable_.load(std::memory_order_relaxed) < upto) {
+      // The batch that should have carried our bytes failed: surface it
+      // rather than report durability that never happened.
+      return last_error_;
+    }
+  }
+}
+
+Status WalManager::FlushBatchLocked(MuLock& lk) {
+  if (flushing_.empty()) {
+    if (active_.empty()) return Status::OK();
+    flushing_.swap(active_);
+  }
+  const Lsn base = durable_.load(std::memory_order_relaxed);
+  // I/O outside the mutex: appenders and readers proceed while this batch
+  // drains. Only the leader mutates flushing_, and only under mu_, so
+  // reading it here unlocked is safe.
+  lk.Unlock();
+  Status s = DoWrite(base, flushing_);
+  if (s.ok()) s = DoSync();
+  lk.Lock();
+  if (!s.ok()) {
+    // The batch stays staged at the same offset: a later force retries it,
+    // keeping the durable prefix contiguous. Parked waiters must fail now —
+    // their bytes are not durable and this leader cannot say when they
+    // will be.
+    n_sync_failures_.fetch_add(1, std::memory_order_relaxed);
+    ++error_epoch_;
+    last_error_ = s;
+    return s;
+  }
+  const Lsn end = base + flushing_.size();
+  n_batches_.fetch_add(1, std::memory_order_relaxed);
+  n_synced_bytes_.fetch_add(flushing_.size(), std::memory_order_relaxed);
+  flushing_.clear();
+  while (!frame_starts_.empty() && frame_starts_.front() < end) {
+    frame_starts_.pop_front();
+  }
+  durable_.store(end, std::memory_order_release);
   return Status::OK();
 }
 
-Lsn WalManager::durable_lsn() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return durable_;
+Status WalManager::DoWrite(Lsn offset, const std::string& buf) {
+  assert(t_wal_mu_held == 0 && "append mutex held across WAL Write");
+  return file_->Write(offset, buf);
 }
 
-Lsn WalManager::next_lsn() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return pending_base_ + pending_.size();
+Status WalManager::DoSync() {
+  assert(t_wal_mu_held == 0 && "append mutex held across WAL Sync");
+  n_sync_calls_.fetch_add(1, std::memory_order_relaxed);
+  return file_->Sync();
 }
 
-uint64_t WalManager::flush_count() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return flushes_;
+WalStats WalManager::stats() const {
+  WalStats s;
+  s.appends = n_appends_.load(std::memory_order_relaxed);
+  s.appended_bytes = n_appended_bytes_.load(std::memory_order_relaxed);
+  s.batches = n_batches_.load(std::memory_order_relaxed);
+  s.sync_calls = n_sync_calls_.load(std::memory_order_relaxed);
+  s.sync_failures = n_sync_failures_.load(std::memory_order_relaxed);
+  s.synced_bytes = n_synced_bytes_.load(std::memory_order_relaxed);
+  s.waiter_wakeups = n_waiter_wakeups_.load(std::memory_order_relaxed);
+  s.avg_batch_bytes =
+      s.batches > 0 ? static_cast<double>(s.synced_bytes) / s.batches : 0.0;
+  return s;
 }
 
 }  // namespace pitree

@@ -1,6 +1,10 @@
 #ifndef PITREE_WAL_WAL_MANAGER_H_
 #define PITREE_WAL_WAL_MANAGER_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,14 +16,49 @@
 
 namespace pitree {
 
-/// Write-ahead log appender.
+/// Counters for the group-commit pipeline. Snapshots are taken with relaxed
+/// atomics only — reading stats never touches the append mutex, so
+/// monitoring cannot contend with the log's hot path.
+struct WalStats {
+  uint64_t appends = 0;         // records appended
+  uint64_t appended_bytes = 0;  // framed bytes appended (header + payload)
+  uint64_t batches = 0;         // group write+sync cycles that succeeded
+  uint64_t sync_calls = 0;      // physical Sync() attempts (failures included)
+  uint64_t sync_failures = 0;   // write or sync attempts that failed
+  uint64_t synced_bytes = 0;    // bytes made durable by successful batches
+  uint64_t waiter_wakeups = 0;  // parked force waiters released durable
+  /// synced_bytes / batches; > one frame means group commit is batching.
+  double avg_batch_bytes = 0;
+};
+
+/// Write-ahead log appender with group commit.
 ///
-/// LSNs are byte offsets of record frames in the log file. Records are
-/// buffered in memory and written+synced by Flush(). The WAL protocol is
-/// enforced by the buffer pool calling Flush(page_lsn) before a dirty page
-/// write; transaction commit calls Flush(commit_lsn) (group force). Atomic
-/// actions do NOT force the log at their end — §4.3.1's "relative
-/// durability": their records become durable with the next forced flush.
+/// LSNs are byte offsets of record frames in the log file. The write path is
+/// a two-stage pipeline that never holds the append mutex across file I/O:
+///
+///  1. *Append* encodes the record outside the mutex, then under a short
+///     critical section reserves the next LSN and copies the framed bytes
+///     into the in-memory active segment. Appenders never touch the file.
+///  2. *Force* (Flush / FlushAll) parks the caller until its bytes are
+///     durable. The first waiter is elected leader: it optionally sleeps a
+///     group-commit window so later commits can join, swaps the active
+///     segment into the flushing slot, and performs Write+Sync with the
+///     mutex dropped (debug builds assert this at the I/O sites). Followers
+///     wait on a condition variable holding no latches or locks — one sync
+///     releases every commit whose record made the batch.
+///
+/// While a leader's batch is in flight, appends keep filling the fresh
+/// active segment (double buffering): the next leader picks them up without
+/// waiting for quiescence. A failed Write/Sync leaves `durable_lsn()`
+/// unadvanced, fails every parked waiter (error epoch), and keeps the
+/// segment staged so a later force retries from the same offset — the
+/// durable prefix stays contiguous.
+///
+/// The WAL protocol is unchanged from the paper's reading: the buffer pool
+/// forces through a page's LSN before writing the page; transaction commit
+/// forces through its commit record; atomic actions do NOT force at their
+/// end — §4.3.1's "relative durability": their records ride to disk with
+/// the next forced batch.
 class WalManager {
  public:
   WalManager() = default;
@@ -27,39 +66,111 @@ class WalManager {
   WalManager& operator=(const WalManager&) = delete;
 
   /// Opens/creates the log file and positions the append point after the
-  /// last complete record.
-  Status Open(Env* env, const std::string& path);
+  /// last complete record. `group_commit_window_us` is how long an elected
+  /// leader waits for more commits before syncing (0 = sync immediately
+  /// when a waiter exists).
+  Status Open(Env* env, const std::string& path,
+              uint64_t group_commit_window_us = 0);
 
-  /// Appends a record, assigning and returning its LSN via `*lsn`.
+  /// Appends a record, assigning and returning its LSN via `*lsn`. Does not
+  /// block on I/O: the record lands in the active segment only.
   Status Append(const LogRecord& rec, Lsn* lsn);
 
-  /// Makes every record with LSN <= `lsn` durable.
+  /// Makes every record with LSN <= `lsn` durable. Parks the caller on the
+  /// group-commit pipeline; the caller must hold no page latches (§4.1
+  /// No-Wait Rule — commit waiters sleep lock-free).
   Status Flush(Lsn lsn);
 
-  /// Random-access read of the record at `lsn`, whether it has been flushed
-  /// to the file or still sits in the append buffer. Undo walks chains
-  /// through this (rollback may need records that were never forced).
-  Status ReadRecord(Lsn lsn, LogRecord* rec) const;
-
-  /// Makes everything appended so far durable.
+  /// Makes everything appended so far durable (same force path as Flush).
   Status FlushAll();
 
-  /// First LSN that has NOT been made durable.
-  Lsn durable_lsn() const;
+  /// Random-access read of the record at `lsn`, whether it has been flushed
+  /// to the file or still sits in a segment. Undo walks chains through this
+  /// (rollback may need records that were never forced). A buffered `lsn`
+  /// that is not a frame boundary returns InvalidArgument, never garbage.
+  Status ReadRecord(Lsn lsn, LogRecord* rec) const;
 
-  /// LSN that the next Append() will assign.
-  Lsn next_lsn() const;
+  /// First LSN that has NOT been made durable. Lock-free.
+  Lsn durable_lsn() const {
+    return durable_.load(std::memory_order_acquire);
+  }
 
-  /// Number of physical sync operations issued (bench instrumentation).
-  uint64_t flush_count() const;
+  /// LSN that the next Append() will assign. Lock-free; under concurrent
+  /// appends the value is a lower bound on any subsequently assigned LSN
+  /// (LSNs only grow), which is exactly what ReserveDirty needs.
+  Lsn next_lsn() const { return next_.load(std::memory_order_acquire); }
+
+  /// Number of successful group write+sync cycles (bench instrumentation).
+  /// Lock-free; equals stats().batches.
+  uint64_t flush_count() const {
+    return n_batches_.load(std::memory_order_relaxed);
+  }
+
+  /// Relaxed snapshot of all pipeline counters.
+  WalStats stats() const;
 
  private:
-  mutable std::mutex mu_;
+  /// Guard that maintains the calling thread's held-count for mu_, so the
+  /// I/O wrappers can assert (debug builds) that the append mutex is never
+  /// held across Write/Sync. Manual drop/reacquire must go through
+  /// Unlock()/Lock(); CV waits on `lk` are fine as-is (the sleeping thread
+  /// runs no I/O and the mutex is reacquired before wait returns).
+  struct MuLock {
+    explicit MuLock(const WalManager& w);
+    ~MuLock();
+    void Unlock();
+    void Lock();
+    std::unique_lock<std::mutex> lk;
+  };
+
+  /// The single force path: blocks until durable_ >= `upto` (clamped to the
+  /// append point), electing this thread leader when no batch is in flight.
+  Status WaitUntilDurable(Lsn upto);
+
+  /// Leader body: swaps the active segment in if the flushing slot is empty,
+  /// drops mu_, performs Write+Sync, re-locks, and publishes durability (or
+  /// the failure). mu_ held on entry and exit.
+  Status FlushBatchLocked(MuLock& lk);
+
+  // I/O wrappers: assert the append mutex is not held on this thread.
+  Status DoWrite(Lsn offset, const std::string& buf);
+  Status DoSync();
+
   std::unique_ptr<File> file_;
-  std::string pending_;     // encoded frames not yet written
-  Lsn pending_base_ = 0;    // file offset where pending_ begins
-  Lsn durable_ = 0;         // all bytes below this offset are synced
-  uint64_t flushes_ = 0;
+  uint64_t window_us_ = 0;
+
+  mutable std::mutex mu_;
+  /// Force waiters (and followers watching a leader) sleep here; the leader
+  /// notifies after every publish, success or failure.
+  std::condition_variable cv_durable_;
+  /// Frames appended but not yet staged for a batch. Base offset is
+  /// durable_ + flushing_.size().
+  std::string active_;
+  /// The staged batch: being written+synced by the leader, or retained for
+  /// retry after a failed sync. Base offset is durable_ (the durable prefix
+  /// always ends exactly where the staged batch begins).
+  std::string flushing_;
+  /// Start offsets of every buffered frame in [durable_, next_), for
+  /// boundary-checked buffered reads. Trimmed as durability advances.
+  std::deque<Lsn> frame_starts_;
+  bool flush_in_progress_ = false;  // a leader owns the flushing slot
+  /// Bumped on every failed batch; a parked waiter that observes a bump
+  /// while its bytes are still volatile fails with last_error_ instead of
+  /// being silently marked durable.
+  uint64_t error_epoch_ = 0;
+  Status last_error_;
+
+  std::atomic<Lsn> durable_{0};  // all bytes below are synced
+  std::atomic<Lsn> next_{0};     // LSN the next append assigns
+
+  // WalStats counters (relaxed; mutated on the paths named above).
+  std::atomic<uint64_t> n_appends_{0};
+  std::atomic<uint64_t> n_appended_bytes_{0};
+  std::atomic<uint64_t> n_batches_{0};
+  std::atomic<uint64_t> n_sync_calls_{0};
+  std::atomic<uint64_t> n_sync_failures_{0};
+  std::atomic<uint64_t> n_synced_bytes_{0};
+  std::atomic<uint64_t> n_waiter_wakeups_{0};
 };
 
 }  // namespace pitree

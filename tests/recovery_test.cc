@@ -271,6 +271,50 @@ TEST_F(RecoveryTest, UncommittedTransactionRolledBackOnRecovery) {
   db->Commit(txn).ok();
 }
 
+// A commit whose group force hits a device fault must surface the error and
+// must NOT advance the WAL's durable horizon — Commit never claims a
+// durability the device refused. After a crash, the failed commit's key is
+// absent while the earlier successful commit survives.
+TEST_F(RecoveryTest, CommitFailsOnWalSyncFaultAndIsAbsentAfterCrash) {
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(DefaultOptions(), &env_, "db", &db).ok());
+    PiTree* tree;
+    ASSERT_TRUE(db->CreateIndex("t", &tree).ok());
+    Transaction* winner = db->Begin();
+    ASSERT_TRUE(tree->Insert(winner, "keep", "1").ok());
+    ASSERT_TRUE(db->Commit(winner).ok());
+
+    Transaction* doomed = db->Begin();
+    ASSERT_TRUE(tree->Insert(doomed, "lost", "2").ok());
+    const Lsn durable_before = db->context()->wal->durable_lsn();
+    // The next sync is the doomed commit's group force on the WAL file.
+    plan.FailNth(FaultOp::kSync, plan.sync_points(),
+                 Status::IOError("injected: wal fsync failed"));
+    Status s = db->Commit(doomed);
+    EXPECT_TRUE(s.IsIOError()) << s.ToString();
+    EXPECT_EQ(db->context()->wal->durable_lsn(), durable_before);
+    EXPECT_GE(db->wal_stats().sync_failures, 1u);
+
+    env_.Crash();
+    db.release();  // intentionally leak, as in the other crash tests
+  }
+  plan.ClearErrorRules();
+  RecoveryStats stats;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(DefaultOptions(), &env_, "db", &db, &stats).ok());
+  PiTree* tree;
+  ASSERT_TRUE(db->GetIndex("t", &tree).ok());
+  Transaction* txn = db->Begin();
+  std::string v;
+  ASSERT_TRUE(tree->Get(txn, "keep", &v).ok());
+  EXPECT_EQ(v, "1");
+  EXPECT_TRUE(tree->Get(txn, "lost", &v).IsNotFound());
+  db->Commit(txn).ok();
+}
+
 TEST_F(RecoveryTest, EvictionsDuringWorkloadStillRecoverExactly) {
   // A 16-page pool forces constant eviction: the page file and the WAL
   // interleave arbitrarily, exercising WAL-before-data + page-LSN redo

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "env/fault_plan.h"
@@ -315,6 +316,113 @@ TEST_F(WalTest, ManyRecordsRoundTrip) {
     EXPECT_EQ(rec.redo.size(), static_cast<size_t>(i % 97));
   }
   EXPECT_TRUE(reader.ReadNext(&rec).IsNotFound());
+}
+
+// The buffered ReadRecord path trusts the caller-supplied lsn only after a
+// frame-boundary check: a mid-frame offset must fail cleanly as
+// InvalidArgument, never decode whatever bytes happen to sit there.
+TEST_F(WalTest, ReadRecordRejectsMisalignedBufferedLsn) {
+  Lsn a, b;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeUpdate(1, a, 2, "redo", "undo"), &b).ok());
+
+  // Nothing forced yet: both records are buffered. Boundaries decode fine.
+  LogRecord rec;
+  ASSERT_TRUE(wal_.ReadRecord(a, &rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kBegin);
+  ASSERT_TRUE(wal_.ReadRecord(b, &rec).ok());
+  EXPECT_EQ(rec.lsn, b);
+  EXPECT_EQ(rec.redo, "redo");
+
+  // Mid-frame offsets (inside the header, inside the payload) are rejected.
+  Status s = wal_.ReadRecord(a + 1, &rec);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  s = wal_.ReadRecord(b + 9, &rec);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+
+  // At or beyond the append point is equally invalid (recovery's buffered
+  // scan relies on this to detect a clean end).
+  EXPECT_TRUE(wal_.ReadRecord(wal_.next_lsn(), &rec).IsInvalidArgument());
+  EXPECT_TRUE(
+      wal_.ReadRecord(wal_.next_lsn() + 1000, &rec).IsInvalidArgument());
+
+  // The check survives a force: a batch drains everything appended so far
+  // (group granularity), so append a fresh record to repopulate the
+  // buffered range — its boundary decodes, one past it fails cleanly.
+  ASSERT_TRUE(wal_.Flush(a).ok());
+  Lsn c;
+  ASSERT_TRUE(wal_.Append(MakeCommit(1, b), &c).ok());
+  ASSERT_TRUE(wal_.ReadRecord(c, &rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kCommit);
+  EXPECT_TRUE(wal_.ReadRecord(c + 1, &rec).IsInvalidArgument());
+}
+
+// A failed group sync must not report durability: durable_lsn() stays put,
+// the forcing caller gets the injected error, and — because the batch stays
+// staged at the same offset — a retry after the transient fault clears
+// drains it with nothing lost.
+TEST_F(WalTest, FailedSyncLeavesDurableUnadvanced) {
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+  Lsn a;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  const Lsn durable_before = wal_.durable_lsn();
+
+  plan.FailNth(FaultOp::kSync, plan.sync_points(),
+               Status::IOError("injected: fsync failed"));
+  Status s = wal_.Flush(a);
+  ASSERT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_EQ(wal_.durable_lsn(), durable_before);
+  EXPECT_GE(wal_.stats().sync_failures, 1u);
+  EXPECT_EQ(wal_.stats().batches, 0u);
+
+  // One-shot fault: the retry syncs the staged batch and the record reads
+  // back through the now-durable path.
+  ASSERT_TRUE(wal_.Flush(a).ok());
+  EXPECT_GT(wal_.durable_lsn(), a);
+  LogRecord rec;
+  ASSERT_TRUE(wal_.ReadRecord(a, &rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kBegin);
+}
+
+// Same fault, but with a parked commit waiter: while the leader's batch is
+// failing, a follower waiting on the same pipeline must be released with the
+// error, not left parked and not told its bytes are durable. Two injected
+// failures make the outcome deterministic regardless of which thread leads
+// which attempt.
+TEST_F(WalTest, FailedSyncReleasesParkedWaitersWithError) {
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+  Lsn a, b;
+  ASSERT_TRUE(wal_.Append(MakeBegin(1, false), &a).ok());
+  ASSERT_TRUE(wal_.Append(MakeCommit(1, a), &b).ok());
+  const Lsn durable_before = wal_.durable_lsn();
+
+  // Every thread's force attempt hits an injected failure: whether a thread
+  // leads a batch or parks behind the other's, it must observe an IOError.
+  uint64_t base = plan.sync_points();
+  plan.FailNth(FaultOp::kSync, base, Status::IOError("injected: fsync 1"));
+  plan.FailNth(FaultOp::kSync, base + 1,
+               Status::IOError("injected: fsync 2"));
+
+  Status s1, s2;
+  std::thread t1([&] { s1 = wal_.Flush(a); });
+  std::thread t2([&] { s2 = wal_.Flush(b); });
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(s1.IsIOError()) << s1.ToString();
+  EXPECT_TRUE(s2.IsIOError()) << s2.ToString();
+  EXPECT_EQ(wal_.durable_lsn(), durable_before);
+  EXPECT_GE(wal_.stats().sync_failures, 1u);
+
+  // With the fault gone (one rule may still be armed if both threads rode
+  // the same failed batch), the staged bytes drain on the next force.
+  plan.ClearErrorRules();
+  ASSERT_TRUE(wal_.FlushAll().ok());
+  EXPECT_EQ(wal_.durable_lsn(), wal_.next_lsn());
+  LogRecord rec;
+  ASSERT_TRUE(wal_.ReadRecord(b, &rec).ok());
+  EXPECT_EQ(rec.type, LogRecordType::kCommit);
 }
 
 TEST_F(WalTest, SeekSupportsChainWalking) {
