@@ -1,0 +1,51 @@
+#ifndef PITREE_ANALYSIS_LATCH_ID_H_
+#define PITREE_ANALYSIS_LATCH_ID_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pitree {
+namespace analysis {
+
+/// Acquisition rank for the §4.1 partial order, ascending in legal
+/// acquisition order: a thread may block on a resource only if everything it
+/// already holds has a *smaller* rank (or, for tree pages, an equal rank at
+/// the same or a higher tree level — parent before child, siblings equal).
+///
+///  - kUnranked:  raw latches (unit tests) — ordering unchecked, but holds
+///                still feed the wait graph and the No-Wait Rule.
+///  - kTreePage:  any page latch handed out by the buffer pool that is not
+///                the space map. Sub-ordered by descending tree level.
+///  - kSpaceMap:  the space-map page latch; §4.1 orders it after every tree
+///                latch ("space map last").
+///  - kPoolShard: a buffer-pool shard mutex. Held only for table/LRU edits,
+///                never across I/O or while blocking on a page latch.
+///  - kWalMutex:  the WAL append mutex; leaf of the whole order.
+enum class Rank : uint8_t {
+  kUnranked = 0,
+  kTreePage = 1,
+  kSpaceMap = 2,
+  kPoolShard = 3,
+  kWalMutex = 4,
+};
+
+/// Sentinel for "tree level not known (yet)". Level comparisons involving an
+/// unknown level are lenient: the checker only flags orders it can prove
+/// wrong.
+inline constexpr int16_t kLevelUnknown = -1;
+
+#if PITREE_CHECK_INVARIANTS
+/// Debug identity carried by every Latch when the checker is compiled in.
+/// All fields are atomics so identity refreshes (frame reuse, root growth)
+/// race benignly with concurrent readers under TSan.
+struct LatchDebugId {
+  std::atomic<uint8_t> rank{0};                 // Rank
+  std::atomic<int16_t> level{kLevelUnknown};    // tree level if rank==kTreePage
+  std::atomic<uint32_t> page{0xFFFFFFFFu};      // page id for reports
+};
+#endif
+
+}  // namespace analysis
+}  // namespace pitree
+
+#endif  // PITREE_ANALYSIS_LATCH_ID_H_

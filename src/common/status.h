@@ -12,8 +12,11 @@ namespace pitree {
 /// A Status either carries `ok()` (the common case, represented without any
 /// allocation) or an error code plus a human-readable message. The style
 /// follows the convention used by production storage engines: every fallible
-/// public operation returns a Status, and callers must check it.
-class Status {
+/// public operation returns a Status, and callers must check it. The
+/// [[nodiscard]] makes "must check it" a compile-time rule (with -Werror):
+/// a dropped Status is exactly how a lost I/O error turns into silent
+/// corruption after recovery.
+class [[nodiscard]] Status {
  public:
   enum class Code : unsigned char {
     kOk = 0,

@@ -1,3 +1,5 @@
+// lint:allow-naked-latch -- bootstrap formats the space-map and catalog
+// pages under X before any concurrency exists; audited with the checker.
 #include "db/database.h"
 
 #include "common/coding.h"
@@ -114,7 +116,7 @@ Status Database::Init(const Options& options, Env* env,
         }
       }
       if (!s.ok()) {
-        txns_->Abort(action);
+        (void)txns_->Abort(action);  // first error wins
         return s;
       }
       PITREE_RETURN_IF_ERROR(txns_->Commit(action));
@@ -136,7 +138,7 @@ Database::~Database() {
   // (Null when Init failed before constructing the service.)
   if (maintenance_ != nullptr) maintenance_->Stop();
   // Best-effort clean shutdown; recovery handles anything missed.
-  wal_.FlushAll().ok();
+  (void)wal_.FlushAll();
 }
 
 Transaction* Database::Begin() { return txns_->Begin(/*is_system=*/false); }
@@ -176,7 +178,7 @@ Status Database::LookupCatalog(const std::string& name, PageId* root,
   std::string value;
   Status s = catalog_->Get(txn, name, &value);
   // Catalog reads take no lasting locks; end the lookup txn either way.
-  Commit(txn).ok();
+  (void)Commit(txn);
   if (!s.ok()) return s;
   Slice in = value;
   uint32_t r;
@@ -202,11 +204,11 @@ Status Database::CreateIndex(const std::string& name, PiTree** tree) {
   std::string existing;
   Status s = catalog_->Get(txn, name, &existing);
   if (s.ok()) {
-    Abort(txn).ok();
+    (void)Abort(txn);
     return Status::InvalidArgument("index already exists: " + name);
   }
   if (!s.IsNotFound()) {
-    Abort(txn).ok();
+    (void)Abort(txn);
     return s;
   }
   PageId root;
@@ -217,7 +219,7 @@ Status Database::CreateIndex(const std::string& name, PiTree** tree) {
                          EncodeCatalogValue(root, kIndexTypePiTree));
   }
   if (!s.ok()) {
-    Abort(txn).ok();
+    (void)Abort(txn);
     return s;
   }
   PITREE_RETURN_IF_ERROR(Commit(txn));
@@ -241,11 +243,11 @@ Status Database::CreateTsbIndex(const std::string& name, TsbTree** tree) {
   std::string existing;
   Status s = catalog_->Get(txn, name, &existing);
   if (s.ok()) {
-    Abort(txn).ok();
+    (void)Abort(txn);
     return Status::InvalidArgument("index already exists: " + name);
   }
   if (!s.IsNotFound()) {
-    Abort(txn).ok();
+    (void)Abort(txn);
     return s;
   }
   PageId root;
@@ -255,7 +257,7 @@ Status Database::CreateTsbIndex(const std::string& name, TsbTree** tree) {
     s = catalog_->Insert(txn, name, EncodeCatalogValue(root, kIndexTypeTsb));
   }
   if (!s.ok()) {
-    Abort(txn).ok();
+    (void)Abort(txn);
     return s;
   }
   PITREE_RETURN_IF_ERROR(Commit(txn));

@@ -1,3 +1,5 @@
+// lint:allow-naked-latch -- space-map page X latch, taken last (§4.1
+// container order, Rank::kSpaceMap); audited with the protocol checker.
 #include "engine/page_alloc.h"
 
 #include "engine/log_apply.h"

@@ -22,6 +22,7 @@ constexpr char kPrefixSibling = '\x01';
 constexpr char kPrefixPoint = '\x02';
 constexpr char kPrefixIndex = '\x03';
 
+// lint:latch-helper
 void AcquireMode(Latch& latch, LatchMode mode) {
   switch (mode) {
     case LatchMode::kShared:
@@ -130,7 +131,7 @@ Status MdTree::Create(EngineContext* ctx, PageId root) {
   PageHandle h;
   Status s = ctx->pool->FetchPageZeroed(root, &h);
   if (!s.ok()) {
-    ctx->txns->Abort(action);
+    (void)ctx->txns->Abort(action);  // first error wins
     return s;
   }
   h.latch().AcquireX();
@@ -144,7 +145,7 @@ Status MdTree::Create(EngineContext* ctx, PageId root) {
   h.latch().ReleaseX();
   h.Reset();
   if (!s.ok()) {
-    ctx->txns->Abort(action);
+    (void)ctx->txns->Abort(action);  // first error wins
     return s;
   }
   return ctx->txns->Commit(action);
@@ -344,7 +345,9 @@ Status MdTree::SplitNode(Transaction* action, PageHandle& h, PageId* sibling,
   std::vector<NodeEntry> erase_from_source;
   for (const auto& e : points) {
     uint32_t x, y;
-    DecodePointKey(e.key, &x, &y);
+    if (!DecodePointKey(e.key, &x, &y)) {
+      return Status::Corruption("md: undecodable point key during split");
+    }
     if (right.Contains(x, y)) {
       move.push_back(e);
       erase_from_source.push_back(e);
@@ -522,7 +525,7 @@ Status MdTree::SplitLeafAndRestart(PageHandle* leaf) {
     if (action->last_lsn != kInvalidLsn) {
       ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn).ok();
       action->last_lsn = lsn;
-      ctx_->recovery->RollbackTxnWithPages(action, pages).ok();
+      (void)ctx_->recovery->RollbackTxnWithPages(action, pages);
       ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
     }
     ctx_->locks->ReleaseAll(action);
@@ -674,7 +677,7 @@ Status MdTree::PostIndexTerm(uint32_t x, uint32_t y) {
           ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn)
               .ok();
           action->last_lsn = lsn;
-          ctx_->recovery->RollbackTxnWithPages(action, pages).ok();
+          (void)ctx_->recovery->RollbackTxnWithPages(action, pages);
           ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
         }
         ctx_->locks->ReleaseAll(action);
@@ -747,7 +750,7 @@ Status MdTree::Insert(Transaction* txn, uint32_t x, uint32_t y,
     break;
   }
   if (!pending.empty()) {
-    PostIndexTerm(pending.front().first, pending.front().second).ok();
+    (void)PostIndexTerm(pending.front().first, pending.front().second);
   }
   return result;
 }
@@ -785,7 +788,7 @@ Status MdTree::Get(Transaction* txn, uint32_t x, uint32_t y,
   leaf.latch().ReleaseS();
   leaf.Reset();
   if (!pending.empty()) {
-    PostIndexTerm(pending.front().first, pending.front().second).ok();
+    (void)PostIndexTerm(pending.front().first, pending.front().second);
   }
   return result;
 }
@@ -826,7 +829,7 @@ Status MdTree::Delete(Transaction* txn, uint32_t x, uint32_t y) {
     break;
   }
   if (!pending.empty()) {
-    PostIndexTerm(pending.front().first, pending.front().second).ok();
+    (void)PostIndexTerm(pending.front().first, pending.front().second);
   }
   return result;
 }

@@ -1,3 +1,5 @@
+// lint:allow-naked-latch -- read-only S sweeps in root-to-leaf /
+// left-to-right order; audited with the protocol checker.
 // Background-maintenance scans over a live tree (MaintenanceService sweep
 // tasks): an idle consolidation scanner that finds under-utilized nodes
 // without waiting for a traversal to trip over them (§3.3), and an online

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "analysis/latch_checker.h"
 #include "common/coding.h"
 #include "engine/log_apply.h"
 #include "maintenance/maintenance_service.h"
@@ -18,7 +19,7 @@ Status PiTree::Create(EngineContext* ctx, PageId root) {
   PageHandle h;
   Status s = ctx->pool->FetchPageZeroed(root, &h);
   if (!s.ok()) {
-    ctx->txns->Abort(action);
+    (void)ctx->txns->Abort(action);  // first error wins
     return s;
   }
   h.latch().AcquireX();
@@ -31,7 +32,7 @@ Status PiTree::Create(EngineContext* ctx, PageId root) {
   h.latch().ReleaseX();
   h.Reset();
   if (!s.ok()) {
-    ctx->txns->Abort(action);
+    (void)ctx->txns->Abort(action);  // first error wins
     return s;
   }
   return ctx->txns->Commit(action);
@@ -42,6 +43,7 @@ Status PiTree::Create(EngineContext* ctx, PageId root) {
 // ---------------------------------------------------------------------------
 
 namespace {
+// lint:latch-helper
 void AcquireMode(Latch& latch, LatchMode mode) {
   switch (mode) {
     case LatchMode::kShared:
@@ -128,12 +130,16 @@ Status PiTree::MoveRight(OpCtx* op, const Slice& key, LatchMode mode,
     SchedulePosting(op, node.level(), cur->id(), next_pid, key);
     PageHandle next;
     PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(next_pid, &next));
+    // Sibling shares the level; capture it before `cur` can be released.
+    const int side_level = node.level();
     if (couple) {
       AcquireMode(next.latch(), mode);
+      analysis::NoteTreeLevel(&next.latch(), side_level);
       cur->latch().Release(mode);
     } else {
       cur->latch().Release(mode);
       AcquireMode(next.latch(), mode);
+      analysis::NoteTreeLevel(&next.latch(), side_level);
     }
     *cur = std::move(next);
   }
@@ -168,6 +174,9 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
         cur_mode = (best->level == target_level) ? target_mode
                                                  : LatchMode::kShared;
         AcquireMode(cur.latch(), cur_mode);
+        // CNS nodes are immortal and their level never changes, so the
+        // remembered level is authoritative even for a stale hint.
+        analysis::NoteTreeLevel(&cur.latch(), best->level);
         started_from_hint = true;
         stats_.saved_path_hits.fetch_add(1, std::memory_order_relaxed);
       }
@@ -183,6 +192,8 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
                                                   : LatchMode::kShared;
         AcquireMode(probe.latch(), m);
         if (probe.page_lsn() == it->state_id) {
+          // Unchanged state id guarantees the node is live at this level.
+          analysis::NoteTreeLevel(&probe.latch(), it->level);
           cur = std::move(probe);
           cur_mode = m;
           started_from_hint = true;
@@ -221,6 +232,7 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
       }
       break;
     }
+    analysis::NoteTreeLevel(&cur.latch(), NodeRef(cur.data()).level());
   }
 
   // ---- descend -----------------------------------------------------------
@@ -307,6 +319,7 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
     }
     cur = std::move(child);
     cur_mode = child_mode;
+    analysis::NoteTreeLevel(&cur.latch(), child_level);
   }
 }
 
@@ -356,7 +369,7 @@ void PiTree::FlushPending(OpCtx* op) {
     for (const auto& job : jobs) {
       // Completing actions are hints; their failure (e.g. Busy) only delays
       // optimization of the tree, never correctness (§5.1).
-      ExecuteJob(job).ok();
+      (void)ExecuteJob(job);
     }
   } else {
     for (auto& job : jobs) {

@@ -1,3 +1,5 @@
+// lint:allow-naked-latch -- SMO X-latches freshly allocated (unreachable)
+// nodes plus the U->X promoted source; audited with the protocol checker.
 // The node-consolidation atomic action (§3.3, §5): moves the contents of a
 // *contained* node into its *containing* node, deletes the contained node's
 // index term, and de-allocates it — all in one atomic action spanning two

@@ -1,3 +1,5 @@
+// lint:allow-naked-latch -- posting descends parent-before-child and
+// X-latches one node at a time; audited with the protocol checker.
 // The index-term posting atomic action — the detailed example of §5.3,
 // implemented step for step: Search (with saved-path verification), Verify
 // Split (testable state, idempotent completion), Space Test (with node

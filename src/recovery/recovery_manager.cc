@@ -1,3 +1,5 @@
+// lint:allow-naked-latch -- single-threaded redo/undo X-latches one page
+// at a time to reuse the LogAndApply idiom; audited with the checker.
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>

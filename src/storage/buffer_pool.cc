@@ -1,3 +1,6 @@
+// lint:allow-naked-latch -- eviction only probes victim latches with
+// no-wait TryAcquireS (checker-exempt) and FlushFrame S-latches a frame
+// it has pinned; audited with the protocol checker.
 #include "storage/buffer_pool.h"
 
 #include <algorithm>
@@ -5,15 +8,12 @@
 #include <cstring>
 #include <thread>
 
+#include "analysis/latch_checker.h"
+#include "storage/space_map.h"
+
 namespace pitree {
 
 namespace {
-
-// Number of shard mutexes the current thread holds. The fetch/flush state
-// machines are built so this is 0 at every disk or WAL call; the I/O
-// wrappers assert it (debug builds) so a regression fails loudly instead of
-// re-serializing the pool behind I/O.
-thread_local int t_shard_locks_held = 0;
 
 // Floor on frames per shard when the count is chosen automatically: page->
 // shard hashing is skewed over small pools, and too few frames per shard
@@ -47,20 +47,47 @@ char* FlushScratch() {
 
 }  // namespace
 
-BufferPool::ShardLock::ShardLock(Shard& s) : lk(s.mu) { ++t_shard_locks_held; }
+// The §4.1 checker (src/analysis/) tracks shard-mutex ownership at rank
+// kPoolShard; the I/O wrappers below assert the rank is unheld, replacing
+// the old thread-local counter. The try-then-block split exists so the
+// checker can register the wait (and run cycle detection) before the thread
+// actually parks; release builds compile to a plain lock().
+
+BufferPool::ShardLock::ShardLock(Shard& s) : lk(s.mu, std::defer_lock) {
+#if PITREE_CHECK_INVARIANTS
+  analysis::OnMutexAcquiring(&s.mu, analysis::Rank::kPoolShard);
+  if (!lk.try_lock()) {
+    analysis::OnMutexBlocked(&s.mu, analysis::Rank::kPoolShard);
+    lk.lock();
+  }
+  analysis::OnMutexAcquired(&s.mu, analysis::Rank::kPoolShard);
+#else
+  lk.lock();
+#endif
+}
 
 BufferPool::ShardLock::~ShardLock() {
-  if (lk.owns_lock()) --t_shard_locks_held;
+  if (lk.owns_lock()) {
+    analysis::OnMutexReleased(lk.mutex(), analysis::Rank::kPoolShard);
+  }
 }
 
 void BufferPool::ShardLock::Unlock() {
-  --t_shard_locks_held;
+  analysis::OnMutexReleased(lk.mutex(), analysis::Rank::kPoolShard);
   lk.unlock();
 }
 
 void BufferPool::ShardLock::Lock() {
+#if PITREE_CHECK_INVARIANTS
+  analysis::OnMutexAcquiring(lk.mutex(), analysis::Rank::kPoolShard);
+  if (!lk.try_lock()) {
+    analysis::OnMutexBlocked(lk.mutex(), analysis::Rank::kPoolShard);
+    lk.lock();
+  }
+  analysis::OnMutexAcquired(lk.mutex(), analysis::Rank::kPoolShard);
+#else
   lk.lock();
-  ++t_shard_locks_held;
+#endif
 }
 
 PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
@@ -126,17 +153,17 @@ size_t BufferPool::ShardOf(PageId id) const {
 }
 
 Status BufferPool::DoRead(PageId id, char* buf) {
-  assert(t_shard_locks_held == 0 && "shard mutex held across ReadPage");
+  analysis::AssertRankNotHeld(analysis::Rank::kPoolShard, "ReadPage");
   return disk_->ReadPage(id, buf);
 }
 
 Status BufferPool::DoWrite(PageId id, const char* buf) {
-  assert(t_shard_locks_held == 0 && "shard mutex held across WritePage");
+  analysis::AssertRankNotHeld(analysis::Rank::kPoolShard, "WritePage");
   return disk_->WritePage(id, buf);
 }
 
 Status BufferPool::DoEnsureDurable(Lsn lsn) {
-  assert(t_shard_locks_held == 0 && "shard mutex held across WAL force");
+  analysis::AssertRankNotHeld(analysis::Rank::kPoolShard, "WAL force");
   return ensure_durable_(lsn);
 }
 
@@ -234,6 +261,13 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
   f.page_id = id;
   f.dirty = false;
   f.rec_lsn = kInvalidLsn;
+  // Rank the frame's latch for the §4.1 checker: the space map orders after
+  // every tree latch; everything else is a tree page whose level descent
+  // code refines (analysis::NoteTreeLevel) once the payload is readable.
+  analysis::SetLatchIdentity(&f.latch,
+                             id == kSpaceMapPage ? analysis::Rank::kSpaceMap
+                                                 : analysis::Rank::kTreePage,
+                             analysis::kLevelUnknown, id);
 
   Status s;
   if (zeroed) {

@@ -176,10 +176,11 @@ class BufferPool {
     PoolShardStats stats;
   };
 
-  /// Guard that also maintains the calling thread's held-shard count, so
-  /// the I/O wrappers can assert (debug builds) that no shard mutex is held
-  /// across ReadPage/WritePage/ensure_durable_. Manual drop/reacquire must
-  /// go through Unlock()/Lock() — never lk.unlock() directly — so the count
+  /// Guard that registers the shard mutex with the §4.1 latch-protocol
+  /// checker (ranked kPoolShard), so invariant builds can order-check it
+  /// against page latches and assert no shard mutex is held across
+  /// ReadPage/WritePage/ensure_durable_. Manual drop/reacquire must go
+  /// through Unlock()/Lock() — never lk.unlock() directly — so the checker
   /// tracks actual ownership. CV waits on `lk` are fine as-is: the mutex is
   /// reacquired before wait returns, and the sleeping thread runs no I/O.
   struct ShardLock {

@@ -2,42 +2,70 @@
 
 #include <cassert>
 
+#include "analysis/latch_checker.h"
+
+// Checker hook placement (all empty inlines in release builds):
+//  - OnLatchAcquiring runs BEFORE taking mu_, so an ordering violation
+//    aborts before the thread can contribute to a deadlock;
+//  - OnLatchBlocked runs under mu_ right before the cv wait, registering
+//    the wait edge (and running cycle detection) while the holder records
+//    it will point at are still guaranteed current;
+//  - OnLatchAcquired / OnLatchReleased / promotion hooks run under mu_, so
+//    the checker's holder map is always in sync with the latch state a
+//    concurrent blocker observes.
+
 namespace pitree {
 
 void Latch::AcquireS() {
+  analysis::OnLatchAcquiring(this, LatchMode::kShared);
   std::unique_lock<std::mutex> lk(mu_);
   if (!SOk()) {
+    analysis::OnLatchBlocked(this, LatchMode::kShared);
     ++s_waiters_;
     cv_.wait(lk, [&] { return SOk(); });
     --s_waiters_;
   }
   ++readers_;
+  analysis::OnLatchAcquired(this, LatchMode::kShared);
 }
 
 void Latch::AcquireU() {
+  analysis::OnLatchAcquiring(this, LatchMode::kUpdate);
   std::unique_lock<std::mutex> lk(mu_);
   if (!UOk()) {
+    analysis::OnLatchBlocked(this, LatchMode::kUpdate);
     ++u_waiters_;
     cv_.wait(lk, [&] { return UOk(); });
     --u_waiters_;
   }
   u_held_ = true;
+  analysis::OnLatchAcquired(this, LatchMode::kUpdate);
 }
 
 void Latch::AcquireX() {
+  analysis::OnLatchAcquiring(this, LatchMode::kExclusive);
   std::unique_lock<std::mutex> lk(mu_);
   if (!XOk()) {
+    analysis::OnLatchBlocked(this, LatchMode::kExclusive);
     ++x_waiters_;
     cv_.wait(lk, [&] { return XOk(); });
     --x_waiters_;
   }
   x_held_ = true;
+  analysis::OnLatchAcquired(this, LatchMode::kExclusive);
 }
+
+// Try* paths skip the order check: a no-wait probe cannot deadlock (§4.1
+// uses them exactly where the order would otherwise be violated, e.g. the
+// eviction path latching an LRU victim "child" while holding the shard
+// mutex). The holds are still recorded so later blocking acquires above
+// them are checked and the wait graph stays exact.
 
 bool Latch::TryAcquireS() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!SOk()) return false;
   ++readers_;
+  analysis::OnLatchAcquired(this, LatchMode::kShared);
   return true;
 }
 
@@ -45,6 +73,7 @@ bool Latch::TryAcquireU() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!UOk()) return false;
   u_held_ = true;
+  analysis::OnLatchAcquired(this, LatchMode::kUpdate);
   return true;
 }
 
@@ -52,6 +81,7 @@ bool Latch::TryAcquireX() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!XOk()) return false;
   x_held_ = true;
+  analysis::OnLatchAcquired(this, LatchMode::kExclusive);
   return true;
 }
 
@@ -67,6 +97,7 @@ bool Latch::TryAcquireX() {
 
 void Latch::ReleaseS() {
   std::lock_guard<std::mutex> lk(mu_);
+  analysis::OnLatchReleased(this, LatchMode::kShared);
   assert(readers_ > 0);
   --readers_;
   if (readers_ == 0 && (promoting_ || (x_waiters_ > 0 && !u_held_))) {
@@ -76,6 +107,7 @@ void Latch::ReleaseS() {
 
 void Latch::ReleaseU() {
   std::lock_guard<std::mutex> lk(mu_);
+  analysis::OnLatchReleased(this, LatchMode::kUpdate);
   assert(u_held_);
   u_held_ = false;
   if (u_waiters_ > 0 || (x_waiters_ > 0 && readers_ == 0)) {
@@ -85,6 +117,7 @@ void Latch::ReleaseU() {
 
 void Latch::ReleaseX() {
   std::lock_guard<std::mutex> lk(mu_);
+  analysis::OnLatchReleased(this, LatchMode::kExclusive);
   assert(x_held_);
   x_held_ = false;
   if (s_waiters_ > 0 || u_waiters_ > 0 || x_waiters_ > 0) {
@@ -95,11 +128,13 @@ void Latch::ReleaseX() {
 void Latch::PromoteUToX() {
   std::unique_lock<std::mutex> lk(mu_);
   assert(u_held_ && !promoting_);
+  analysis::OnLatchPromoting(this);
   promoting_ = true;  // blocks new readers so the drain terminates
   cv_.wait(lk, [&] { return readers_ == 0; });
   u_held_ = false;
   promoting_ = false;
   x_held_ = true;
+  analysis::OnLatchPromoted(this);
   // Completing the promotion enables nobody: X is now held, so every
   // predicate stays false until ReleaseX/DemoteXToU.
 }
@@ -109,6 +144,7 @@ void Latch::DemoteXToU() {
   assert(x_held_);
   x_held_ = false;
   u_held_ = true;
+  analysis::OnLatchDemoted(this);
   // Only S waiters can proceed under the new U holder.
   if (s_waiters_ > 0) cv_.notify_all();
 }

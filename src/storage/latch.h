@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "analysis/latch_id.h"
+
 namespace pitree {
 
 /// Latch modes, §4.1 of the paper.
@@ -52,6 +54,14 @@ class Latch {
 
   /// Releases whatever mode `mode` names; convenience for handle code.
   void Release(LatchMode mode);
+
+#if PITREE_CHECK_INVARIANTS
+  /// Identity for the §4.1 protocol checker (src/analysis/): rank, tree
+  /// level, page id. Set by the buffer pool when a frame takes on a page,
+  /// refined by descent code via analysis::NoteTreeLevel. Absent (and every
+  /// hook an empty inline) in release builds.
+  mutable analysis::LatchDebugId dbg;
+#endif
 
  private:
   bool SOk() const { return !x_held_ && !promoting_; }

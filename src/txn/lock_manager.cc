@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/latch_checker.h"
+
 namespace pitree {
 
 namespace {
@@ -150,7 +152,15 @@ void CheckGrantInvariant(const Q& q, const char* where) {
 
 Status LockManager::Lock(Transaction* txn, const std::string& resource,
                          LockMode mode, bool wait) {
+  // §4.1.2 No-Wait Rule, machine-checked: a request that is *allowed* to
+  // block must not be made while holding any latch or engine mutex a lock
+  // holder may need to make progress. wait=false requests are the sanctioned
+  // probe-and-restart path and are exempt. Checked before mu_ so a violation
+  // aborts with hold stacks instead of maybe deadlocking first.
+  if (wait) analysis::OnLockBlockingRequest(resource.c_str());
   std::unique_lock<std::mutex> lk(mu_);
+  // Best-effort txn->thread binding for the checker's lock wait edges.
+  analysis::BindTxnThread(txn->id);
   Queue& q = table_[resource];
 
   auto drop_ungranted = [&] {
@@ -171,8 +181,10 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
       // upgrading to a move lock, form a cycle that must be broken).
       q.push_back({txn->id, target, false});
       waiting_on_[txn->id] = resource;
+      analysis::OnLockWaitBegin(resource.c_str());
       while (!ConversionGrantable(q, txn->id, target)) {
         if (WaitWouldDeadlock(txn->id)) {
+          analysis::OnLockWaitEnd();
           waiting_on_.erase(txn->id);
           drop_ungranted();
           ++deadlocks_;
@@ -181,6 +193,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
         }
         cv_.wait_for(lk, std::chrono::milliseconds(20));
       }
+      analysis::OnLockWaitEnd();
       waiting_on_.erase(txn->id);
       q.remove_if(
           [&](const Request& r) { return r.txn == txn->id && !r.granted; });
@@ -205,8 +218,10 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
       return Status::Busy("lock would block");
     }
     waiting_on_[txn->id] = resource;
+    analysis::OnLockWaitBegin(resource.c_str());
     while (!Grantable(q, txn->id, mode)) {
       if (WaitWouldDeadlock(txn->id)) {
+        analysis::OnLockWaitEnd();
         waiting_on_.erase(txn->id);
         drop_ungranted();
         ++deadlocks_;
@@ -215,6 +230,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
       }
       cv_.wait_for(lk, std::chrono::milliseconds(20));
     }
+    analysis::OnLockWaitEnd();
     waiting_on_.erase(txn->id);
   }
   for (auto& r : q) {
@@ -224,6 +240,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
     }
   }
   txn->held_locks[resource] = mode;
+  analysis::OnLockGranted(resource.c_str(), txn->id);
   CheckGrantInvariant(q, "fresh");
   cv_.notify_all();
   return Status::OK();
@@ -238,6 +255,7 @@ void LockManager::Unlock(Transaction* txn, const std::string& resource) {
     if (it->second.empty()) table_.erase(it);
   }
   txn->held_locks.erase(resource);
+  analysis::OnLockReleased(resource.c_str(), txn->id);
   cv_.notify_all();
 }
 
@@ -249,8 +267,10 @@ void LockManager::ReleaseAll(Transaction* txn) {
     it->second.remove_if(
         [&](const Request& r) { return r.txn == txn->id && r.granted; });
     if (it->second.empty()) table_.erase(it);
+    analysis::OnLockReleased(resource.c_str(), txn->id);
   }
   txn->held_locks.clear();
+  analysis::UnbindTxn(txn->id);
   cv_.notify_all();
 }
 

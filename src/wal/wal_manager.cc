@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "analysis/latch_checker.h"
 #include "common/coding.h"
 #include "common/crc32.h"
 #include "wal/log_reader.h"
@@ -13,32 +14,51 @@ namespace pitree {
 
 namespace {
 
-// Number of times the current thread holds the WAL append mutex. The force
-// path is built so this is 0 at every file Write/Sync; the I/O wrappers
-// assert it (debug builds) so a regression fails loudly instead of
-// re-convoying every appender behind one thread's fsync.
-thread_local int t_wal_mu_held = 0;
-
 constexpr size_t kFrameHeaderSize = 8;  // crc32 + payload length
 
 }  // namespace
 
-WalManager::MuLock::MuLock(const WalManager& w) : lk(w.mu_) {
-  ++t_wal_mu_held;
+// The §4.1 checker (src/analysis/) tracks append-mutex ownership at rank
+// kWalMutex — the leaf of the whole acquisition order. The force path is
+// built so the rank is unheld at every file Write/Sync; the I/O wrappers
+// assert that, so a regression fails loudly instead of re-convoying every
+// appender behind one thread's fsync. Release builds compile to plain locks.
+
+WalManager::MuLock::MuLock(const WalManager& w) : lk(w.mu_, std::defer_lock) {
+#if PITREE_CHECK_INVARIANTS
+  analysis::OnMutexAcquiring(&w.mu_, analysis::Rank::kWalMutex);
+  if (!lk.try_lock()) {
+    analysis::OnMutexBlocked(&w.mu_, analysis::Rank::kWalMutex);
+    lk.lock();
+  }
+  analysis::OnMutexAcquired(&w.mu_, analysis::Rank::kWalMutex);
+#else
+  lk.lock();
+#endif
 }
 
 WalManager::MuLock::~MuLock() {
-  if (lk.owns_lock()) --t_wal_mu_held;
+  if (lk.owns_lock()) {
+    analysis::OnMutexReleased(lk.mutex(), analysis::Rank::kWalMutex);
+  }
 }
 
 void WalManager::MuLock::Unlock() {
-  --t_wal_mu_held;
+  analysis::OnMutexReleased(lk.mutex(), analysis::Rank::kWalMutex);
   lk.unlock();
 }
 
 void WalManager::MuLock::Lock() {
+#if PITREE_CHECK_INVARIANTS
+  analysis::OnMutexAcquiring(lk.mutex(), analysis::Rank::kWalMutex);
+  if (!lk.try_lock()) {
+    analysis::OnMutexBlocked(lk.mutex(), analysis::Rank::kWalMutex);
+    lk.lock();
+  }
+  analysis::OnMutexAcquired(lk.mutex(), analysis::Rank::kWalMutex);
+#else
   lk.lock();
-  ++t_wal_mu_held;
+#endif
 }
 
 Status WalManager::Open(Env* env, const std::string& path,
@@ -231,12 +251,12 @@ Status WalManager::FlushBatchLocked(MuLock& lk) {
 }
 
 Status WalManager::DoWrite(Lsn offset, const std::string& buf) {
-  assert(t_wal_mu_held == 0 && "append mutex held across WAL Write");
+  analysis::AssertRankNotHeld(analysis::Rank::kWalMutex, "WAL Write");
   return file_->Write(offset, buf);
 }
 
 Status WalManager::DoSync() {
-  assert(t_wal_mu_held == 0 && "append mutex held across WAL Sync");
+  analysis::AssertRankNotHeld(analysis::Rank::kWalMutex, "WAL Sync");
   n_sync_calls_.fetch_add(1, std::memory_order_relaxed);
   return file_->Sync();
 }

@@ -110,11 +110,13 @@ class WalManager {
   WalStats stats() const;
 
  private:
-  /// Guard that maintains the calling thread's held-count for mu_, so the
-  /// I/O wrappers can assert (debug builds) that the append mutex is never
-  /// held across Write/Sync. Manual drop/reacquire must go through
-  /// Unlock()/Lock(); CV waits on `lk` are fine as-is (the sleeping thread
-  /// runs no I/O and the mutex is reacquired before wait returns).
+  /// Guard that registers mu_ with the §4.1 latch-protocol checker (ranked
+  /// kWalMutex, the highest rank: legal to take while holding anything,
+  /// nothing may be taken under it), so invariant builds can assert the
+  /// append mutex is never held across Write/Sync. Manual drop/reacquire
+  /// must go through Unlock()/Lock(); CV waits on `lk` are fine as-is (the
+  /// sleeping thread runs no I/O and the mutex is reacquired before wait
+  /// returns).
   struct MuLock {
     explicit MuLock(const WalManager& w);
     ~MuLock();

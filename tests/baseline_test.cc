@@ -61,13 +61,13 @@ TEST_F(BaselineTest, LcBTreeInsertGetDeleteRoundTrip) {
   ASSERT_TRUE(lc_->Get(txn, "a", &v).ok());
   EXPECT_EQ(v, "1");
   EXPECT_TRUE(lc_->Get(txn, "b", &v).IsNotFound());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   txn = db_->Begin();
   ASSERT_TRUE(lc_->Delete(txn, "a").ok());
   ASSERT_TRUE(db_->Commit(txn).ok());
   txn = db_->Begin();
   EXPECT_TRUE(lc_->Get(txn, "a", &v).IsNotFound());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
 }
 
 TEST_F(BaselineTest, LcBTreeManyInsertsSplitAndStaySearchable) {
@@ -82,12 +82,12 @@ TEST_F(BaselineTest, LcBTreeManyInsertsSplitAndStaySearchable) {
     Transaction* txn = db_->Begin();
     std::string v;
     ASSERT_TRUE(lc_->Get(txn, Key(i), &v).ok()) << i;
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
   }
   Transaction* txn = db_->Begin();
   std::vector<NodeEntry> out;
   ASSERT_TRUE(lc_->Scan(txn, Key(0), 5000, &out).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   ASSERT_EQ(out.size(), 3000u);
   for (size_t i = 1; i < out.size(); ++i) {
     EXPECT_LT(out[i - 1].key, out[i].key);
@@ -104,7 +104,7 @@ TEST_F(BaselineTest, LcBTreeReverseAndRandomOrders) {
     Status s = lc_->Insert(txn, key, value);
     if (model.count(key)) {
       EXPECT_TRUE(s.IsInvalidArgument());
-      db_->Abort(txn).ok();
+      (void)db_->Abort(txn);
     } else {
       ASSERT_TRUE(s.ok());
       ASSERT_TRUE(db_->Commit(txn).ok());
@@ -114,7 +114,7 @@ TEST_F(BaselineTest, LcBTreeReverseAndRandomOrders) {
   Transaction* txn = db_->Begin();
   std::vector<NodeEntry> out;
   ASSERT_TRUE(lc_->Scan(txn, Key(0), model.size() + 1, &out).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   EXPECT_EQ(out.size(), model.size());
 }
 
@@ -131,7 +131,7 @@ TEST_F(BaselineTest, LcBTreeConcurrentDisjointInserters) {
         if (s.ok()) {
           if (!db_->Commit(txn).ok()) failures.fetch_add(1);
         } else {
-          db_->Abort(txn).ok();
+          (void)db_->Abort(txn);
           failures.fetch_add(1);
         }
       }
@@ -143,7 +143,7 @@ TEST_F(BaselineTest, LcBTreeConcurrentDisjointInserters) {
     Transaction* txn = db_->Begin();
     std::string v;
     ASSERT_TRUE(lc_->Get(txn, Key(t * 100000 + kPerThread / 2), &v).ok());
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
   }
 }
 
@@ -155,7 +155,7 @@ TEST_F(BaselineTest, SerialSmoTreeBasicOperations) {
   std::string v;
   ASSERT_TRUE(ss_->Get(txn, "a", &v).ok());
   EXPECT_EQ(v, "1");
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
 }
 
 TEST_F(BaselineTest, SerialSmoTreeSplitsUnderExclusiveLatch) {
@@ -173,7 +173,7 @@ TEST_F(BaselineTest, SerialSmoTreeSplitsUnderExclusiveLatch) {
     Transaction* txn = db_->Begin();
     std::string v;
     ASSERT_TRUE(ss_->Get(txn, Key(i), &v).ok()) << i;
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
   }
 }
 
@@ -190,7 +190,7 @@ TEST_F(BaselineTest, SerialSmoTreeConcurrentInserters) {
         if (s.ok()) {
           if (!db_->Commit(txn).ok()) failures.fetch_add(1);
         } else {
-          db_->Abort(txn).ok();
+          (void)db_->Abort(txn);
           failures.fetch_add(1);
         }
       }
@@ -227,7 +227,7 @@ TEST_F(BaselineTest, AllThreeSystemsAgreeOnTheSameWorkload) {
     Status s3 = ss_->Get(txn, Key(i), &v3);
     EXPECT_EQ(s1.ok(), s2.ok()) << i;
     EXPECT_EQ(s1.ok(), s3.ok()) << i;
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
   }
 }
 

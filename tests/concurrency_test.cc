@@ -95,7 +95,7 @@ TEST_P(ConcurrencyTest, DisjointRangeInsertersDontInterfere) {
             if (!db_->Commit(txn).ok()) failures.fetch_add(1);
             break;
           }
-          db_->Abort(txn).ok();
+          (void)db_->Abort(txn);
           if (!s.IsDeadlock() && !s.IsBusy()) {
             ADD_FAILURE() << "insert " << Key(t * 100000 + i) << ": "
                           << s.ToString();
@@ -118,7 +118,7 @@ TEST_P(ConcurrencyTest, DisjointRangeInsertersDontInterfere) {
       std::string v;
       ASSERT_TRUE(tree_->Get(txn, Key(t * 100000 + i), &v).ok())
           << t << "/" << i;
-      db_->Commit(txn).ok();
+      (void)db_->Commit(txn);
     }
   }
   EXPECT_GT(tree_->stats().splits.load(), 20u);
@@ -157,7 +157,7 @@ TEST_P(ConcurrencyTest, ContendedUpsertCounterHasNoLostUpdates) {
             continue;
           }
         }
-        db_->Abort(txn).ok();  // deadlock victim or busy: retry
+        (void)db_->Abort(txn);  // deadlock victim or busy: retry
       }
     });
   }
@@ -167,7 +167,7 @@ TEST_P(ConcurrencyTest, ContendedUpsertCounterHasNoLostUpdates) {
     Transaction* txn = db_->Begin();
     std::string v;
     ASSERT_TRUE(tree_->Get(txn, Key(c), &v).ok());
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
     total += std::stoi(v);
   }
   EXPECT_EQ(total, committed.load());
@@ -201,7 +201,7 @@ TEST_P(ConcurrencyTest, MixedWorkloadModelCheck) {
             if (s.ok() && db_->Commit(txn).ok()) {
               model[key] = value;
             } else if (!s.ok()) {
-              db_->Abort(txn).ok();
+              (void)db_->Abort(txn);
             }
             break;
           }
@@ -210,7 +210,7 @@ TEST_P(ConcurrencyTest, MixedWorkloadModelCheck) {
             if (s.ok() && db_->Commit(txn).ok()) {
               model.erase(key);
             } else if (!s.ok()) {
-              db_->Abort(txn).ok();
+              (void)db_->Abort(txn);
             }
             break;
           }
@@ -220,11 +220,13 @@ TEST_P(ConcurrencyTest, MixedWorkloadModelCheck) {
             auto it = model.find(key);
             if (it != model.end()) {
               EXPECT_TRUE(s.ok()) << key;
-              if (s.ok()) EXPECT_EQ(v, it->second);
+              if (s.ok()) {
+                EXPECT_EQ(v, it->second);
+              }
             } else {
               EXPECT_TRUE(s.IsNotFound()) << key;
             }
-            db_->Commit(txn).ok();
+            (void)db_->Commit(txn);
             break;
           }
         }
@@ -240,7 +242,7 @@ TEST_P(ConcurrencyTest, MixedWorkloadModelCheck) {
       std::string got;
       ASSERT_TRUE(tree_->Get(txn, k, &got).ok()) << k;
       EXPECT_EQ(got, v);
-      db_->Commit(txn).ok();
+      (void)db_->Commit(txn);
     }
   }
 }
@@ -261,9 +263,9 @@ TEST_P(ConcurrencyTest, ReadersRunDuringSplitStorm) {
       Transaction* txn = db_->Begin();
       Status s = tree_->Insert(txn, Key(100000 + i), value);
       if (s.ok()) {
-        db_->Commit(txn).ok();
+        (void)db_->Commit(txn);
       } else {
-        db_->Abort(txn).ok();
+        (void)db_->Abort(txn);
       }
     }
     stop.store(true);
@@ -279,7 +281,7 @@ TEST_P(ConcurrencyTest, ReadersRunDuringSplitStorm) {
         int i = 2 * static_cast<int>(rnd.Uniform(200));
         Status s = tree_->Get(txn, Key(i), &v);
         EXPECT_TRUE(s.ok()) << Key(i);
-        db_->Commit(txn).ok();
+        (void)db_->Commit(txn);
         reads.fetch_add(1);
       }
     });
@@ -310,9 +312,9 @@ TEST_P(ConcurrencyTest, ConcurrentDeletersAndConsolidation) {
         Transaction* txn = db_->Begin();
         Status s = tree_->Delete(txn, Key(i));
         if (s.ok()) {
-          db_->Commit(txn).ok();
+          (void)db_->Commit(txn);
         } else {
-          db_->Abort(txn).ok();
+          (void)db_->Abort(txn);
           ADD_FAILURE() << "delete failed: " << s.ToString();
         }
       }
@@ -325,7 +327,7 @@ TEST_P(ConcurrencyTest, ConcurrentDeletersAndConsolidation) {
   Transaction* txn = db_->Begin();
   std::vector<NodeEntry> out;
   ASSERT_TRUE(tree_->Scan(txn, Key(0), kN, &out).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   ASSERT_EQ(out.size(), static_cast<size_t>(kN / 10));
   for (size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].key, Key(static_cast<int>(i) * 10));

@@ -201,7 +201,7 @@ TEST(FaultInjectionTest, DeadDiskShutsDownSanely) {
     std::snprintf(key, sizeof(key), "key%08d", i);
     Status s = tree->Insert(txn, key, value);
     if (s.ok()) s = db->Commit(txn);
-    else db->Abort(txn);
+    else (void)db->Abort(txn);
     return s;
   };
 

@@ -294,7 +294,7 @@ TEST(SimEnvTest, ErrorRulesOneShotStickyAndFileFiltered) {
 TEST(PosixEnvTest, RoundTripThroughRealFilesystem) {
   Env* env = GetPosixEnv();
   std::string path = ::testing::TempDir() + "/pitree_env_test_file";
-  env->DeleteFile(path);
+  (void)env->DeleteFile(path);  // best-effort cleanup
   {
     std::unique_ptr<File> f;
     ASSERT_TRUE(env->OpenFile(path, &f).ok());
@@ -317,7 +317,7 @@ TEST(PosixEnvTest, WriteFileAtomicReplaces) {
   std::string data;
   ASSERT_TRUE(env->ReadFileToString(path, &data).ok());
   EXPECT_EQ(data, "v2-longer");
-  env->DeleteFile(path);
+  (void)env->DeleteFile(path);  // best-effort cleanup
 }
 
 }  // namespace

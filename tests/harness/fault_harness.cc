@@ -109,7 +109,7 @@ Options WorkloadOptions(const ExplorerConfig& cfg) {
         out->committed_ops[key].push_back({lower, upper, is_delete});
         return;
       }
-      db->Abort(txn);
+      (void)db->Abort(txn);
       if (!os.IsBusy() && !os.IsDeadlock()) {
         errors.fetch_add(1);
         std::lock_guard<std::mutex> lk(trace_mu);
@@ -329,12 +329,12 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
     std::string v;
     Status g = tree->Get(txn, key, &v);
     if (e == Expect::kPresent && !g.ok()) {
-      db->Abort(txn);
+      (void)db->Abort(txn);
       return fail() << "durably committed key lost: " << key << " ("
                     << g.ToString() << "), prefix_end=" << prefix_end;
     }
     if (e == Expect::kAbsent && !g.IsNotFound()) {
-      db->Abort(txn);
+      (void)db->Abort(txn);
       return fail() << "key should be absent: " << key << " ("
                     << g.ToString() << "), prefix_end=" << prefix_end;
     }
@@ -343,7 +343,7 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
     std::string v;
     Status g = tree->Get(txn, key, &v);
     if (!g.IsNotFound()) {
-      db->Abort(txn);
+      (void)db->Abort(txn);
       return fail() << "uncommitted key leaked: " << key << " ("
                     << g.ToString() << ")";
     }

@@ -48,25 +48,39 @@ TEST(LatchTest, SharedBlocksX) {
   l.ReleaseX();
 }
 
+// The promoter owns the U it promotes and releases the X it ends with on
+// the same thread: latch ownership never migrates across threads (the §4.1
+// checker tracks holds per thread and would flag a transfer).
 TEST(LatchTest, PromoteWaitsForReadersToDrain) {
   Latch l;
-  l.AcquireU();
-  l.AcquireS();
+  l.AcquireS();  // the reader the promotion has to drain
   std::atomic<bool> promoted{false};
+  std::atomic<bool> release_x{false};
   std::thread promoter([&] {
+    l.AcquireU();
     l.PromoteUToX();
     promoted.store(true);
+    while (!release_x.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    l.ReleaseX();
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  EXPECT_FALSE(promoted.load());
-  // New readers must be refused while a promotion is pending, or the
-  // promoter could starve.
-  EXPECT_FALSE(l.TryAcquireS());
+  // Wait until the promotion is genuinely pending: new readers must be
+  // refused while it is, or the promoter could starve.
+  while (l.TryAcquireS()) {
+    l.ReleaseS();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(promoted.load());  // our S is still in
   l.ReleaseS();
+  while (!promoted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(l.TryAcquireS());  // promoter now holds X
+  release_x.store(true);
   promoter.join();
-  EXPECT_TRUE(promoted.load());
-  EXPECT_FALSE(l.TryAcquireS());
-  l.ReleaseX();
+  EXPECT_TRUE(l.TryAcquireS());
+  l.ReleaseS();
 }
 
 TEST(LatchTest, DemoteXToUAdmitsReaders) {
@@ -133,13 +147,18 @@ TEST(LatchTest, UPromotionSerializesReadModifyWrite) {
 // must stay blocked through the promoted X term.
 TEST(LatchTest, BlockingSAcquireWaitsOutPendingPromotion) {
   Latch l;
-  l.AcquireU();
   l.AcquireS();  // pre-existing reader the promoter has to drain
   std::atomic<bool> promoted{false};
   std::atomic<bool> s_acquired{false};
+  std::atomic<bool> release_x{false};
   std::thread promoter([&] {
+    l.AcquireU();
     l.PromoteUToX();
     promoted.store(true);
+    while (!release_x.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    l.ReleaseX();
   });
   // Wait until the promotion is genuinely pending: new S admission refused.
   while (l.TryAcquireS()) {
@@ -155,11 +174,13 @@ TEST(LatchTest, BlockingSAcquireWaitsOutPendingPromotion) {
   EXPECT_FALSE(promoted.load());    // old reader still in
   EXPECT_FALSE(s_acquired.load());  // new reader held out by the promoter
   l.ReleaseS();                     // drain: promotion must now complete
-  promoter.join();
-  EXPECT_TRUE(promoted.load());
+  while (!promoted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   EXPECT_FALSE(s_acquired.load());  // still blocked: promoter holds X
-  l.ReleaseX();
+  release_x.store(true);
+  promoter.join();
   reader.join();
   EXPECT_TRUE(s_acquired.load());
 }

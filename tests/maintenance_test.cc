@@ -250,7 +250,7 @@ TEST_F(MaintenanceDbTest, BackgroundPoolConvergesUnderConcurrentInserts) {
             if (!db_->Commit(txn).ok()) failures.fetch_add(1);
             break;
           }
-          db_->Abort(txn).ok();
+          (void)db_->Abort(txn);
           if (!s.IsDeadlock() && !s.IsBusy()) {
             failures.fetch_add(1);
             break;
@@ -277,7 +277,7 @@ TEST_F(MaintenanceDbTest, BackgroundPoolConvergesUnderConcurrentInserts) {
       Transaction* txn = db_->Begin();
       std::string v;
       ASSERT_TRUE(tree_->Get(txn, Key(t * 100000 + i), &v).ok());
-      db_->Commit(txn).ok();
+      (void)db_->Commit(txn);
     }
   }
   EXPECT_GT(tree_->stats().splits.load(), 20u);
@@ -319,7 +319,7 @@ TEST_F(MaintenanceDbTest, SweepScanSchedulesConsolidations) {
     Transaction* txn = db_->Begin();
     std::string v;
     ASSERT_TRUE(tree_->Get(txn, Key(i), &v).ok()) << i;
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
   }
 }
 

@@ -48,14 +48,14 @@ class MdTreeTest : public ::testing::Test {
     Transaction* txn = db_->Begin();
     Status s = tree_->Insert(txn, x, y, v);
     if (s.ok()) return db_->Commit(txn);
-    db_->Abort(txn).ok();
+    (void)db_->Abort(txn);
     return s;
   }
 
   Status GetOne(uint32_t x, uint32_t y, std::string* v) {
     Transaction* txn = db_->Begin();
     Status s = tree_->Get(txn, x, y, v);
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
     return s;
   }
 
@@ -247,7 +247,7 @@ TEST_F(MdTreeTest, RangeQueryMatchesModel) {
   Transaction* txn = db_->Begin();
   std::vector<MdPoint> out;
   ASSERT_TRUE(tree_->RangeQuery(txn, query, &out).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   std::set<std::pair<uint32_t, uint32_t>> got;
   for (const auto& p : out) got.insert({p.x, p.y});
   std::set<std::pair<uint32_t, uint32_t>> expect;
@@ -294,7 +294,7 @@ TEST_F(MdTreeTest, SurvivesCrashAndRecovery) {
     std::string v;
     ASSERT_TRUE(tree2.Get(txn, p.first, p.second, &v).ok())
         << p.first << "," << p.second;
-    db2->Commit(txn).ok();
+    (void)db2->Commit(txn);
   }
 }
 

@@ -51,14 +51,14 @@ class PiTreeRegimeTest : public ::testing::TestWithParam<Regime> {
     Transaction* txn = db_->Begin();
     Status s = tree_->Insert(txn, k, v);
     if (s.ok()) return db_->Commit(txn);
-    db_->Abort(txn).ok();
+    (void)db_->Abort(txn);
     return s;
   }
 
   Status GetOne(const std::string& k, std::string* v) {
     Transaction* txn = db_->Begin();
     Status s = tree_->Get(txn, k, v);
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
     return s;
   }
 
@@ -66,7 +66,7 @@ class PiTreeRegimeTest : public ::testing::TestWithParam<Regime> {
     Transaction* txn = db_->Begin();
     Status s = tree_->Delete(txn, k);
     if (s.ok()) return db_->Commit(txn);
-    db_->Abort(txn).ok();
+    (void)db_->Abort(txn);
     return s;
   }
 
@@ -97,7 +97,7 @@ TEST_P(PiTreeRegimeTest, EmptyKeyRejected) {
   Transaction* txn = db_->Begin();
   EXPECT_TRUE(tree_->Insert(txn, "", "v").IsInvalidArgument());
   EXPECT_TRUE(tree_->Get(txn, "", nullptr).IsInvalidArgument());
-  db_->Abort(txn).ok();
+  (void)db_->Abort(txn);
 }
 
 TEST_P(PiTreeRegimeTest, DuplicateInsertFails) {
@@ -118,7 +118,7 @@ TEST_P(PiTreeRegimeTest, UpdateChangesValue) {
   EXPECT_EQ(v, "new");
   txn = db_->Begin();
   EXPECT_TRUE(tree_->Update(txn, "missing", "x").IsNotFound());
-  db_->Abort(txn).ok();
+  (void)db_->Abort(txn);
 }
 
 TEST_P(PiTreeRegimeTest, DeleteRemoves) {
@@ -164,7 +164,7 @@ TEST_P(PiTreeRegimeTest, ScanReturnsSortedRange) {
   Transaction* txn = db_->Begin();
   std::vector<NodeEntry> out;
   ASSERT_TRUE(tree_->Scan(txn, Key(100), 50, &out).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   ASSERT_EQ(out.size(), 50u);
   EXPECT_EQ(out[0].key, Key(100));
   EXPECT_EQ(out[49].key, Key(149));
@@ -181,7 +181,7 @@ TEST_P(PiTreeRegimeTest, ScanAcrossLeafBoundaries) {
   Transaction* txn = db_->Begin();
   std::vector<NodeEntry> out;
   ASSERT_TRUE(tree_->Scan(txn, Key(0), 1000, &out).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   ASSERT_EQ(out.size(), 1000u);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(out[i].key, Key(i));
 }
@@ -234,7 +234,9 @@ TEST_P(PiTreeRegimeTest, DeleteHeavyWorkloadTriggersConsolidation) {
     ASSERT_TRUE(InsertOne(Key(i), value).ok());
   }
   for (int i = 0; i < kN; ++i) {
-    if (i % 10 != 0) ASSERT_TRUE(DeleteOne(Key(i)).ok());
+    if (i % 10 != 0) {
+      ASSERT_TRUE(DeleteOne(Key(i)).ok());
+    }
   }
   // Extra traversals notice under-utilized nodes and schedule completion.
   std::string v;
@@ -306,7 +308,7 @@ TEST_P(PiTreeRegimeTest, RandomizedModelCheck) {
   Transaction* txn = db_->Begin();
   std::vector<NodeEntry> out;
   ASSERT_TRUE(tree_->Scan(txn, Key(0), model.size() + 10, &out).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   ASSERT_EQ(out.size(), model.size());
   auto it = model.begin();
   for (size_t i = 0; i < out.size(); ++i, ++it) {
@@ -327,7 +329,7 @@ TEST_P(PiTreeRegimeTest, MultipleIndexesAreIndependent) {
   EXPECT_EQ(v, "in-t");
   txn = db_->Begin();
   ASSERT_TRUE(other->Get(txn, "k", &v).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   EXPECT_EQ(v, "in-u");
   EXPECT_TRUE(db_->CreateIndex("u", &other).IsInvalidArgument());
   PiTree* again = nullptr;

@@ -170,7 +170,7 @@ TEST_P(CrashTortureTest, EveryLogPrefixRecoversToConsistentState) {
         std::string v;
         ASSERT_TRUE(tree->Get(txn, k, &v).ok())
             << "prefix " << prefix << " missing committed " << k;
-        db->Commit(txn).ok();
+        (void)db->Commit(txn);
       }
       // The loser transaction's effects are gone.
       for (const auto& k : loser_keys) {
@@ -178,7 +178,7 @@ TEST_P(CrashTortureTest, EveryLogPrefixRecoversToConsistentState) {
         std::string v;
         ASSERT_TRUE(tree->Get(txn, k, &v).IsNotFound())
             << "prefix " << prefix << " leaked loser key " << k;
-        db->Commit(txn).ok();
+        (void)db->Commit(txn);
         break;  // one probe per prefix keeps runtime sane
       }
       if (expect->count(Key(53))) {
@@ -186,7 +186,7 @@ TEST_P(CrashTortureTest, EveryLogPrefixRecoversToConsistentState) {
         std::string v;
         ASSERT_TRUE(tree->Get(txn, Key(53), &v).ok());
         EXPECT_NE(v, "changed") << "loser update survived, prefix " << prefix;
-        db->Commit(txn).ok();
+        (void)db->Commit(txn);
       }
     }
 
@@ -238,7 +238,7 @@ TEST_F(RecoveryTest, CommittedTransactionSurvivesCrashWithoutPageFlush) {
   std::string v;
   ASSERT_TRUE(tree->Get(txn, "durable", &v).ok());
   EXPECT_EQ(v, "yes");
-  db->Commit(txn).ok();
+  (void)db->Commit(txn);
 }
 
 TEST_F(RecoveryTest, UncommittedTransactionRolledBackOnRecovery) {
@@ -268,7 +268,7 @@ TEST_F(RecoveryTest, UncommittedTransactionRolledBackOnRecovery) {
   std::string v;
   ASSERT_TRUE(tree->Get(txn, "keep", &v).ok());
   EXPECT_TRUE(tree->Get(txn, "drop", &v).IsNotFound());
-  db->Commit(txn).ok();
+  (void)db->Commit(txn);
 }
 
 // A commit whose group force hits a device fault must surface the error and
@@ -312,7 +312,7 @@ TEST_F(RecoveryTest, CommitFailsOnWalSyncFaultAndIsAbsentAfterCrash) {
   ASSERT_TRUE(tree->Get(txn, "keep", &v).ok());
   EXPECT_EQ(v, "1");
   EXPECT_TRUE(tree->Get(txn, "lost", &v).IsNotFound());
-  db->Commit(txn).ok();
+  (void)db->Commit(txn);
 }
 
 TEST_F(RecoveryTest, EvictionsDuringWorkloadStillRecoverExactly) {
@@ -346,7 +346,7 @@ TEST_F(RecoveryTest, EvictionsDuringWorkloadStillRecoverExactly) {
   Transaction* txn = db->Begin();
   std::vector<NodeEntry> out;
   ASSERT_TRUE(tree->Scan(txn, Key(0), 2000, &out).ok());
-  db->Commit(txn).ok();
+  (void)db->Commit(txn);
   ASSERT_EQ(out.size(), model.size());
   auto it = model.begin();
   for (size_t i = 0; i < out.size(); ++i, ++it) {
@@ -390,7 +390,7 @@ TEST_F(RecoveryTest, CheckpointShortensAnalysis) {
   std::string v;
   ASSERT_TRUE(tree->Get(txn, Key(319), &v).ok());
   ASSERT_TRUE(tree->Get(txn, Key(0), &v).ok());
-  db->Commit(txn).ok();
+  (void)db->Commit(txn);
   (void)full_log_end;
 }
 
@@ -421,7 +421,7 @@ TEST_F(RecoveryTest, DoubleCrashDuringRecoveryIsIdempotent) {
     Transaction* txn = db->Begin();
     std::string v;
     ASSERT_TRUE(tree->Get(txn, Key(0), &v).IsNotFound());
-    db->Commit(txn).ok();
+    (void)db->Commit(txn);
     // Flush the recovery's own log work, then crash again.
     ASSERT_TRUE(db->context()->wal->FlushAll().ok());
     env_.Crash();

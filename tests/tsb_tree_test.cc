@@ -33,7 +33,7 @@ class TsbTreeTest : public ::testing::Test {
     Transaction* txn = db_->Begin();
     Status s = tree_->Put(txn, k, v, t);
     if (s.ok()) return db_->Commit(txn);
-    db_->Abort(txn).ok();
+    (void)db_->Abort(txn);
     return s;
   }
 
@@ -41,14 +41,14 @@ class TsbTreeTest : public ::testing::Test {
     Transaction* txn = db_->Begin();
     Status s = tree_->Erase(txn, k, t);
     if (s.ok()) return db_->Commit(txn);
-    db_->Abort(txn).ok();
+    (void)db_->Abort(txn);
     return s;
   }
 
   Status GetAsOf(const std::string& k, TsbTime t, std::string* v) {
     Transaction* txn = db_->Begin();
     Status s = tree_->GetAsOf(txn, k, t, v);
-    db_->Commit(txn).ok();
+    (void)db_->Commit(txn);
     return s;
   }
 
@@ -118,7 +118,7 @@ TEST_F(TsbTreeTest, InvalidKeysRejected) {
   EXPECT_TRUE(tree_->Put(txn, "", "v", 1).IsInvalidArgument());
   EXPECT_TRUE(tree_->Put(txn, Slice("a\0b", 3), "v", 1).IsInvalidArgument());
   EXPECT_TRUE(tree_->Put(txn, "\x01H", "v", 1).IsInvalidArgument());
-  db_->Abort(txn).ok();
+  (void)db_->Abort(txn);
 }
 
 TEST_F(TsbTreeTest, UpdateHeavyWorkloadForcesTimeSplits) {
@@ -197,7 +197,7 @@ TEST_F(TsbTreeTest, FullVersionHistoryEnumeration) {
   Transaction* txn = db_->Begin();
   std::vector<TsbVersion> versions;
   ASSERT_TRUE(tree_->History(txn, "k", &versions).ok());
-  db_->Commit(txn).ok();
+  (void)db_->Commit(txn);
   ASSERT_EQ(versions.size(), 40u);
   // Newest first, exact values.
   for (int i = 0; i < 40; ++i) {
@@ -303,7 +303,7 @@ TEST_F(TsbTreeTest, SurvivesCrashAndRecovery) {
   EXPECT_EQ(v, "updated");
   ASSERT_TRUE(tree2->GetAsOf(txn, Key(10), t1, &v).ok());
   EXPECT_EQ(v.size(), 150u);
-  db2->Commit(txn).ok();
+  (void)db2->Commit(txn);
 }
 
 }  // namespace
