@@ -1,0 +1,287 @@
+// Experiment E12 — MVCC snapshot scans vs. the 2PL read baseline.
+//
+// The claim (DESIGN.md §12): snapshot transactions read with §4.1 latches
+// only — zero lock-manager locks — so concurrent analytical scans should
+// leave writer commit throughput essentially untouched, where 2PL readers
+// taking S record locks (held to end of transaction) serialize against
+// writer X locks and drag both sides down.
+//
+// The sweep is reader streams {0,1,4,16,64} x reader mode {snapshot scan,
+// 2PL read txn}, against a fixed pool of writer threads committing MVCC
+// overwrites of a seeded key space (overwrites accumulate dead versions, so
+// time splits run throughout — readers traverse history chains while they
+// migrate). Readers are closed-loop clients with a fixed think time between
+// scans, like analytical query streams: an unthrottled spin loop would
+// measure CPU-scheduling fairness against the writers (worst on small CI
+// boxes), not the protocol interference this experiment is about. Reported
+// per run: writer commits/s and p50/p99 commit latency, reader scans/s
+// (against the offered rate), and the tree's time-split count.
+//
+// Emits the paper-style table plus BENCH_e12.json for CI tracking.
+// PITREE_BENCH_SMOKE=1 shrinks the sweep.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+
+namespace pitree {
+namespace bench {
+namespace {
+
+constexpr int kWriters = 4;
+constexpr int kScanRange = 100;  // user keys per scan / per 2PL read txn
+constexpr int kThinkUs = 2000;   // per-stream pause between scans
+
+uint64_t KeySpace() { return getenv("PITREE_BENCH_SMOKE") ? 400 : 2000; }
+uint64_t CommitsPerWriter() {
+  return getenv("PITREE_BENCH_SMOKE") ? 1000 : 25000;
+}
+
+std::string ValueFor(uint64_t round) {
+  std::string v = "v" + std::to_string(round);
+  v.resize(100, '.');
+  return v;
+}
+
+struct RunResult {
+  std::string mode;  // "none", "snapshot", "2pl"
+  int readers = 0;
+  uint64_t commits = 0;
+  double seconds = 0;
+  double writer_kops = 0;
+  double writer_p50_us = 0;
+  double writer_p99_us = 0;
+  uint64_t scans = 0;
+  double scans_per_sec = 0;
+  uint64_t reader_failures = 0;
+  uint64_t time_splits = 0;
+};
+
+RunResult RunOnce(const std::string& mode, int readers) {
+  BenchDb bench;
+  Database* db = bench.db.get();
+  TsbTree* tree = nullptr;
+  if (!db->CreateTsbIndex("t", &tree).ok()) abort();
+
+  const uint64_t keys = KeySpace();
+  const uint64_t per_writer = CommitsPerWriter();
+  for (uint64_t i = 0; i < keys; ++i) {
+    Transaction* txn = db->Begin();
+    if (!tree->Put(txn, BenchKey(i), ValueFor(0)).ok() ||
+        !db->Commit(txn).ok()) {
+      abort();
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> scans{0};
+  std::atomic<uint64_t> reader_failures{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Random rnd(0xE12000 + r);
+      std::vector<TsbScanEntry> out;
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t lo = rnd.Uniform(static_cast<uint32_t>(keys));
+        uint64_t hi = std::min<uint64_t>(lo + kScanRange, keys);
+        if (mode == "snapshot") {
+          auto snap = db->BeginSnapshot();
+          if (!snap->Scan(tree, BenchKey(lo), BenchKey(hi), kScanRange * 2,
+                          &out)
+                   .ok()) {
+            ++reader_failures;
+            continue;
+          }
+        } else {
+          // 2PL baseline: current reads under S record locks held to end
+          // of transaction — the pre-MVCC way to get a consistent batch.
+          Transaction* txn = db->Begin();
+          bool ok = true;
+          std::string v;
+          for (uint64_t i = lo; i < hi && ok; ++i) {
+            ok = tree->Get(txn, BenchKey(i), &v).ok();
+          }
+          if (ok) ok = db->Commit(txn).ok();
+          if (!ok) {
+            (void)db->Abort(txn);
+            ++reader_failures;
+            continue;
+          }
+        }
+        scans.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(kThinkUs));
+      }
+    });
+  }
+
+  std::mutex lat_mu;
+  std::vector<double> latencies_us;
+  Timer timer;
+  std::vector<std::thread> writer_threads;
+  for (int w = 0; w < kWriters; ++w) {
+    writer_threads.emplace_back([&, w] {
+      Random rnd(0xBEEF00 + w);
+      std::vector<double> local;
+      local.reserve(per_writer);
+      for (uint64_t i = 0; i < per_writer; ++i) {
+        uint64_t key = rnd.Uniform(static_cast<uint32_t>(keys));
+        Timer commit_timer;
+        bool committed = false;
+        for (int attempt = 0; attempt < 64 && !committed; ++attempt) {
+          Transaction* txn = db->Begin();
+          Status s = tree->Put(txn, BenchKey(key), ValueFor(i + 1));
+          if (s.ok()) s = db->Commit(txn);
+          if (s.ok()) {
+            committed = true;
+            break;
+          }
+          (void)db->Abort(txn);
+          if (!s.IsBusy() && !s.IsDeadlock()) {
+            fprintf(stderr, "E12 writer failed: %s\n", s.ToString().c_str());
+            failed.store(true);
+            return;
+          }
+          std::this_thread::yield();
+        }
+        if (!committed) {
+          failed.store(true);
+          return;
+        }
+        local.push_back(commit_timer.ElapsedSeconds() * 1e6);
+      }
+      std::lock_guard<std::mutex> lk(lat_mu);
+      latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : writer_threads) t.join();
+  double secs = timer.ElapsedSeconds();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : reader_threads) t.join();
+  if (failed.load()) {
+    fprintf(stderr, "E12 run failed (%s, %d readers)\n", mode.c_str(),
+            readers);
+    abort();
+  }
+
+  RunResult r;
+  r.mode = mode;
+  r.readers = readers;
+  r.commits = per_writer * kWriters;
+  r.seconds = secs;
+  r.writer_kops = r.commits / secs / 1e3;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  r.writer_p50_us = Percentile(latencies_us, 0.50);
+  r.writer_p99_us = Percentile(latencies_us, 0.99);
+  r.scans = scans.load();
+  r.scans_per_sec = r.scans / secs;
+  r.reader_failures = reader_failures.load();
+  r.time_splits = tree->stats().time_splits.load();
+  return r;
+}
+
+std::string ToJson(const RunResult& r) {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "    {\"mode\": \"%s\", \"readers\": %d, \"commits\": %llu, "
+           "\"seconds\": %.4f, \"writer_kops\": %.2f, "
+           "\"writer_p50_us\": %.1f, \"writer_p99_us\": %.1f, "
+           "\"scans\": %llu, \"scans_per_sec\": %.1f, "
+           "\"reader_failures\": %llu, \"time_splits\": %llu}",
+           r.mode.c_str(), r.readers, (unsigned long long)r.commits,
+           r.seconds, r.writer_kops, r.writer_p50_us, r.writer_p99_us,
+           (unsigned long long)r.scans, r.scans_per_sec,
+           (unsigned long long)r.reader_failures,
+           (unsigned long long)r.time_splits);
+  return buf;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace pitree
+
+int main(int argc, char** argv) {
+  using namespace pitree;
+  using namespace pitree::bench;
+  setvbuf(stdout, nullptr, _IOLBF, 0);
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_e12.json";
+  const bool smoke = getenv("PITREE_BENCH_SMOKE") != nullptr;
+
+  std::vector<int> reader_counts =
+      smoke ? std::vector<int>{1, 16} : std::vector<int>{1, 4, 16, 64};
+
+  printf("E12: snapshot scans vs 2PL reads, %d writers over %llu keys\n\n",
+         kWriters, (unsigned long long)KeySpace());
+
+  std::vector<RunResult> results;
+  PrintRow({"mode", "readers", "writer kops/s", "p50 us", "p99 us",
+            "scans/s", "rd fails", "time splits"},
+           {10, 9, 15, 10, 10, 11, 10, 12});
+
+  // Baseline: writers alone. (Copied, not referenced: later push_backs
+  // reallocate the vector.)
+  const RunResult base = RunOnce("none", 0);
+  results.push_back(base);
+  PrintRow({base.mode, "0", Fmt(base.writer_kops, 2),
+            Fmt(base.writer_p50_us, 0), Fmt(base.writer_p99_us, 0), "-", "-",
+            FmtU(base.time_splits)},
+           {10, 9, 15, 10, 10, 11, 10, 12});
+  printf("\n");
+
+  for (const char* mode : {"snapshot", "2pl"}) {
+    for (int readers : reader_counts) {
+      RunResult r = RunOnce(mode, readers);
+      results.push_back(r);
+      PrintRow({r.mode, FmtU(r.readers), Fmt(r.writer_kops, 2),
+                Fmt(r.writer_p50_us, 0), Fmt(r.writer_p99_us, 0),
+                Fmt(r.scans_per_sec, 1), FmtU(r.reader_failures),
+                FmtU(r.time_splits)},
+               {10, 9, 15, 10, 10, 11, 10, 12});
+    }
+    printf("\n");
+  }
+
+  // Headline: writer degradation with 16 concurrent readers, per mode
+  // (acceptance: snapshot readers cost writers <= 10%).
+  for (const char* mode : {"snapshot", "2pl"}) {
+    for (const RunResult& r : results) {
+      if (r.mode == mode && r.readers == 16) {
+        printf("%s readers=16: writer throughput %.1f%% of baseline "
+               "(%.2f vs %.2f kops/s)\n",
+               mode, 100.0 * r.writer_kops / base.writer_kops, r.writer_kops,
+               base.writer_kops);
+      }
+    }
+  }
+  printf("\n");
+
+  FILE* f = fopen(out_path, "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  fprintf(f, "{\n  \"experiment\": \"E12\",\n");
+  fprintf(f, "  \"description\": \"writer commit throughput and reader scan "
+             "rate: MVCC snapshot scans vs 2PL read transactions\",\n");
+  fprintf(f, "  \"writers\": %d,\n", kWriters);
+  fprintf(f, "  \"key_space\": %llu,\n", (unsigned long long)KeySpace());
+  fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    fprintf(f, "%s%s\n", ToJson(results[i]).c_str(),
+            i + 1 < results.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -617,7 +617,13 @@ void OnLockWaitEnd() {
   ts->wait_lock.clear();
 }
 
+namespace {
+// Per-thread grant tally: OnLockGranted runs on the requesting thread.
+thread_local uint64_t t_lock_grants = 0;
+}  // namespace
+
 void OnLockGranted(const char* resource, uint64_t txn_id) {
+  ++t_lock_grants;
   Checker* c = G();
   std::lock_guard<std::mutex> lk(c->mu);
   auto& v = c->lock_holders[resource];
@@ -702,6 +708,8 @@ void AssertNoLatchesHeld(const char* what) {
 }
 
 size_t HeldCountForTest() { return Tls()->holds.size(); }
+
+uint64_t LockGrantsForTest() { return t_lock_grants; }
 
 }  // namespace analysis
 }  // namespace pitree

@@ -76,6 +76,12 @@ void AssertNoLatchesHeld(const char* what);
 /// Number of resources (latches + mutexes) the calling thread holds.
 size_t HeldCountForTest();
 
+/// Number of lock-manager grants observed on the calling thread. The MVCC
+/// zero-locks test asserts this stays flat across a snapshot read on the
+/// same thread (the process-wide LockManager::grant_count() would race
+/// with concurrent writers).
+uint64_t LockGrantsForTest();
+
 #else  // !PITREE_CHECK_INVARIANTS
 inline constexpr bool kEnabled = false;
 
@@ -102,6 +108,7 @@ inline void NoteTreeLevel(Latch*, int) {}
 inline void AssertRankNotHeld(Rank, const char*) {}
 inline void AssertNoLatchesHeld(const char*) {}
 inline size_t HeldCountForTest() { return 0; }
+inline uint64_t LockGrantsForTest() { return 0; }
 #endif  // PITREE_CHECK_INVARIANTS
 
 }  // namespace analysis

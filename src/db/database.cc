@@ -39,7 +39,13 @@ Status Database::Init(const Options& options, Env* env,
   ctx_.pool = pool_.get();
 
   ctx_.locks = &locks_;
+  // The oracle exists before the transaction manager and recovery: commits
+  // stamp timestamps from it, and recovery restarts it above the replayed
+  // maximum before any new transaction can draw one.
+  oracle_ = std::make_unique<TimestampOracle>();
+  ctx_.oracle = oracle_.get();
   txns_ = std::make_unique<TxnManager>(&wal_, &locks_);
+  txns_->set_oracle(oracle_.get());
   ctx_.txns = txns_.get();
 
   recovery_ = std::make_unique<RecoveryManager>(&ctx_, name + ".master");
@@ -59,7 +65,7 @@ Status Database::Init(const Options& options, Env* env,
       });
 
   checkpoints_ = std::make_unique<CheckpointManager>(
-      env, &wal_, pool_.get(), txns_.get(), name + ".master");
+      env, &wal_, pool_.get(), txns_.get(), name + ".master", oracle_.get());
 
   maintenance_ = std::make_unique<MaintenanceService>(options);
   ctx_.maintenance = maintenance_.get();

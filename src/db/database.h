@@ -12,6 +12,8 @@
 #include "engine/engine_context.h"
 #include "env/env.h"
 #include "maintenance/maintenance_service.h"
+#include "mvcc/snapshot.h"
+#include "mvcc/timestamp_oracle.h"
 #include "pitree/pi_tree.h"
 #include "recovery/checkpoint.h"
 #include "recovery/recovery_manager.h"
@@ -49,6 +51,17 @@ class Database {
   Transaction* Begin();
   Status Commit(Transaction* txn);
   Status Abort(Transaction* txn);
+
+  /// Opens a snapshot transaction: a consistent read-only view of every
+  /// TSB-tree index as of the current durable-commit horizon. Snapshot
+  /// reads take zero lock-manager locks (mvcc/snapshot.h); destroy the
+  /// handle when done so the oracle's low-watermark can advance.
+  std::unique_ptr<SnapshotTxn> BeginSnapshot() {
+    return std::make_unique<SnapshotTxn>(oracle_.get());
+  }
+
+  /// The MVCC timestamp authority (tests and harnesses probe it).
+  TimestampOracle* oracle() { return oracle_.get(); }
 
   // -- indexes --------------------------------------------------------------
   /// Creates a named B-link Π-tree index (InvalidArgument if it exists).
@@ -95,6 +108,7 @@ class Database {
   WalManager wal_;
   std::unique_ptr<BufferPool> pool_;
   LockManager locks_;
+  std::unique_ptr<TimestampOracle> oracle_;
   std::unique_ptr<TxnManager> txns_;
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<CheckpointManager> checkpoints_;

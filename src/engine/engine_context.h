@@ -14,6 +14,7 @@ class LockManager;
 class TxnManager;
 class RecoveryManager;
 class MaintenanceService;
+class TimestampOracle;
 
 /// Non-owning bundle of the engine's managers, passed to every component
 /// that needs cross-module services. Database (db/database.h) owns the
@@ -26,6 +27,10 @@ struct EngineContext {
   TxnManager* txns = nullptr;
   RecoveryManager* recovery = nullptr;
   MaintenanceService* maintenance = nullptr;
+  /// MVCC timestamp authority (mvcc/timestamp_oracle.h). When set, TSB-tree
+  /// version times are drawn from it so snapshots, version timestamps, and
+  /// commit timestamps share one timeline; null for standalone components.
+  TimestampOracle* oracle = nullptr;
   Options options;
 };
 

@@ -1,0 +1,91 @@
+#include "mvcc/timestamp_oracle.h"
+
+#include <cassert>
+
+namespace pitree {
+
+Timestamp TimestampOracle::RegisterWriter(TxnId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = writers_.find(id);
+  if (it != writers_.end()) return it->second;
+  // Allocate under mu_: a concurrent BeginSnapshot either sees this writer
+  // in the set or computes its snapshot from a clock value below this
+  // allocation — either way the snapshot stays below every version the
+  // writer will produce.
+  Timestamp ts = Next();
+  writers_.emplace(id, ts);
+  writer_ts_.insert(ts);
+  return ts;
+}
+
+void TimestampOracle::DeregisterWriter(TxnId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = writers_.find(id);
+  if (it == writers_.end()) return;
+  auto ts_it = writer_ts_.find(it->second);
+  assert(ts_it != writer_ts_.end());
+  writer_ts_.erase(ts_it);
+  writers_.erase(it);
+}
+
+void TimestampOracle::PublishCommit(Timestamp cts) {
+  Timestamp cur = visible_.load(std::memory_order_relaxed);
+  while (cur < cts &&
+         !visible_.compare_exchange_weak(cur, cts,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+Timestamp TimestampOracle::VisibleLocked() const {
+  Timestamp snap = visible_.load(std::memory_order_acquire);
+  if (!writer_ts_.empty() && *writer_ts_.begin() <= snap) {
+    snap = *writer_ts_.begin() - 1;
+  }
+  return snap;
+}
+
+Timestamp TimestampOracle::BeginSnapshot() {
+  std::lock_guard<std::mutex> lk(mu_);
+  Timestamp snap = VisibleLocked();
+  snapshots_.insert(snap);
+  return snap;
+}
+
+void TimestampOracle::EndSnapshot(Timestamp ts) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = snapshots_.find(ts);
+  assert(it != snapshots_.end());
+  if (it != snapshots_.end()) snapshots_.erase(it);
+}
+
+Timestamp TimestampOracle::visible_ts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return VisibleLocked();
+}
+
+Timestamp TimestampOracle::low_watermark() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!snapshots_.empty()) return *snapshots_.begin();
+  return VisibleLocked();
+}
+
+void TimestampOracle::RecoverTo(Timestamp max_committed) {
+  Timestamp cur = clock_.load();
+  while (cur < max_committed &&
+         !clock_.compare_exchange_weak(cur, max_committed)) {
+  }
+  PublishCommit(max_committed);
+}
+
+size_t TimestampOracle::active_writers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return writers_.size();
+}
+
+size_t TimestampOracle::active_snapshots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snapshots_.size();
+}
+
+}  // namespace pitree

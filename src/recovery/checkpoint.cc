@@ -1,6 +1,7 @@
 #include "recovery/checkpoint.h"
 
 #include "common/coding.h"
+#include "mvcc/timestamp_oracle.h"
 #include "wal/log_record.h"
 
 namespace pitree {
@@ -20,6 +21,7 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
     PutFixed32(&out, page);
     PutVarint64(&out, rec_lsn);
   }
+  PutVarint64(&out, data.oracle_ts);
   return out;
 }
 
@@ -54,6 +56,11 @@ Status DecodeCheckpoint(Slice in, CheckpointData* data) {
     }
     data->dpt.emplace_back(page, rec_lsn);
   }
+  // Pre-MVCC checkpoints end here; their oracle high-water is zero.
+  data->oracle_ts = 0;
+  if (!in.empty() && !GetVarint64(&in, &data->oracle_ts)) {
+    return Status::Corruption("ckpt oracle ts");
+  }
   return Status::OK();
 }
 
@@ -66,6 +73,10 @@ Status CheckpointManager::TakeCheckpoint() {
   CheckpointData data;
   data.att = txns_->SnapshotAtt();
   data.dpt = pool_->DirtyPageTable();
+  // Read the clock after the ATT snapshot: any commit record that analysis
+  // will not scan (it precedes this checkpoint) drew its timestamp before
+  // this read, so the stamped high-water bounds it.
+  if (oracle_ != nullptr) data.oracle_ts = oracle_->last_issued();
 
   LogRecord end;
   end.type = LogRecordType::kCheckpointEnd;

@@ -14,11 +14,18 @@
 
 namespace pitree {
 
+class TimestampOracle;
+
 /// Payload of a kCheckpointEnd record: the active-transaction table and
-/// dirty-page table at checkpoint time.
+/// dirty-page table at checkpoint time, plus the MVCC oracle's high-water.
 struct CheckpointData {
   std::vector<AttEntry> att;
   std::vector<std::pair<PageId, Lsn>> dpt;
+  /// Largest timestamp the oracle had issued at checkpoint time (0 without
+  /// an oracle). Analysis scans start at the checkpoint and would miss
+  /// commit timestamps in records before it; this field covers them so the
+  /// restarted oracle still never re-issues a durable timestamp.
+  uint64_t oracle_ts = 0;
 };
 
 std::string EncodeCheckpoint(const CheckpointData& data);
@@ -31,11 +38,13 @@ Status DecodeCheckpoint(Slice in, CheckpointData* data);
 class CheckpointManager {
  public:
   CheckpointManager(Env* env, WalManager* wal, BufferPool* pool,
-                    TxnManager* txns, std::string master_path)
+                    TxnManager* txns, std::string master_path,
+                    TimestampOracle* oracle = nullptr)
       : env_(env),
         wal_(wal),
         pool_(pool),
         txns_(txns),
+        oracle_(oracle),
         master_path_(std::move(master_path)) {}
 
   /// Appends begin/end checkpoint records, forces them, updates the master.
@@ -49,6 +58,7 @@ class CheckpointManager {
   WalManager* const wal_;
   BufferPool* const pool_;
   TxnManager* const txns_;
+  TimestampOracle* const oracle_;
   const std::string master_path_;
 };
 

@@ -11,6 +11,7 @@
 #include "engine/log_apply.h"
 #include "engine/page_apply.h"
 #include "env/env.h"
+#include "mvcc/timestamp_oracle.h"
 #include "txn/txn_manager.h"
 #include "wal/log_reader.h"
 #include "wal/wal_manager.h"
@@ -75,6 +76,10 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
           for (const auto& [page, rec_lsn] : data.dpt) {
             dpt.try_emplace(page, rec_lsn);
           }
+          // The checkpoint's oracle high-water covers commit records older
+          // than the analysis scan's start.
+          stats->max_recovered_commit_ts =
+              std::max(stats->max_recovered_commit_ts, data.oracle_ts);
           break;
         }
         case LogRecordType::kBegin: {
@@ -101,6 +106,8 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
         }
         case LogRecordType::kCommit:
           att.erase(rec.txn_id);
+          stats->max_recovered_commit_ts =
+              std::max(stats->max_recovered_commit_ts, rec.commit_ts);
           break;
         case LogRecordType::kAbort:
           att[rec.txn_id].aborting = true;
@@ -206,6 +213,14 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
       loser.next = next;
       todo.push(loser);
     }
+  }
+
+  // Restart the oracle strictly above every recovered commit timestamp.
+  // Version timestamps need no separate maximum: a committed transaction's
+  // versions are all stamped before its commit timestamp is drawn from the
+  // same clock, and losers' versions were just undone above.
+  if (ctx_->oracle != nullptr) {
+    ctx_->oracle->RecoverTo(stats->max_recovered_commit_ts);
   }
 
   // Make the recovered state durable enough that a second crash replays a

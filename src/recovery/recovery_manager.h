@@ -23,6 +23,10 @@ struct RecoveryStats {
   uint64_t records_undone = 0;
   uint64_t loser_user_txns = 0;
   uint64_t loser_atomic_actions = 0;
+  /// Largest MVCC commit timestamp in the replayed log (kCommit records
+  /// plus the checkpoint's oracle high-water); the oracle restarts strictly
+  /// above it. 0 when the log predates MVCC.
+  uint64_t max_recovered_commit_ts = 0;
 };
 
 /// ARIES-style recovery: analysis, redo (repeating history), undo with

@@ -39,6 +39,9 @@ void Latch::AcquireU() {
     --u_waiters_;
   }
   u_held_ = true;
+  // Taking U re-admits S waiters that were deferring to queued X waiters
+  // (the X wait now rests on this U, so readers cost it nothing).
+  if (s_waiters_ > 0 && x_waiters_ > 0) cv_.notify_all();
   analysis::OnLatchAcquired(this, LatchMode::kUpdate);
 }
 
@@ -73,6 +76,7 @@ bool Latch::TryAcquireU() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!UOk()) return false;
   u_held_ = true;
+  if (s_waiters_ > 0 && x_waiters_ > 0) cv_.notify_all();  // see AcquireU
   analysis::OnLatchAcquired(this, LatchMode::kUpdate);
   return true;
 }

@@ -64,7 +64,18 @@ class Latch {
 #endif
 
  private:
-  bool SOk() const { return !x_held_ && !promoting_; }
+  // S admission defers to queued X waiters (and pending promotions), not
+  // just the current holder. Without the x_waiters_ term a continuous
+  // stream of overlapping readers keeps readers_ > 0 forever and a blocked
+  // X acquirer starves — snapshot scan threads did exactly that to writers.
+  // The u_held_ escape hatch matters twice over: (a) while a U is held the
+  // X waiter is blocked on the U itself, so admitting readers costs it
+  // nothing; (b) the posting path's documented S re-entry over its own U
+  // (§11 exemption) must stay wait-free — deferring it to an X waiter that
+  // is in turn waiting out our U would deadlock.
+  bool SOk() const {
+    return !x_held_ && !promoting_ && (x_waiters_ == 0 || u_held_);
+  }
   bool UOk() const { return !x_held_ && !u_held_; }
   bool XOk() const { return !x_held_ && !u_held_ && readers_ == 0; }
 

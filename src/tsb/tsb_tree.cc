@@ -9,6 +9,7 @@
 #include "common/coding.h"
 #include "engine/log_apply.h"
 #include "engine/page_alloc.h"
+#include "mvcc/timestamp_oracle.h"
 #include "recovery/recovery_manager.h"
 #include "storage/space_map.h"
 #include "txn/lock_manager.h"
@@ -88,6 +89,11 @@ bool TsbTree::GetHistoryTerm(const NodeRef& node, HistoryTerm* term) {
 }
 
 TsbTree::TsbTree(EngineContext* ctx, PageId root) : ctx_(ctx), root_(root) {}
+
+TsbTime TsbTree::Now() {
+  if (ctx_->oracle != nullptr) return ctx_->oracle->Next();
+  return clock_.fetch_add(1) + 1;
+}
 
 Status TsbTree::Create(EngineContext* ctx, PageId root) {
   Transaction* action = ctx->txns->Begin(/*is_system=*/true);
@@ -802,6 +808,44 @@ Status TsbTree::Erase(Transaction* txn, const Slice& key, TsbTime t) {
   return WriteVersion(txn, key, t, /*tombstone=*/true, Slice());
 }
 
+TsbTime TsbTree::AllocateVersionTs(Transaction* txn) {
+  TimestampOracle* oracle = ctx_->oracle;
+  if (oracle == nullptr) return Now();
+  if (txn->mvcc_write_ts == 0) {
+    // First write: register as an active writer. Until the commit is
+    // published (or the transaction ends), snapshots stay strictly below
+    // this timestamp — and every later timestamp the transaction draws is
+    // larger, so none of its versions can leak into a snapshot.
+    txn->mvcc_write_ts = oracle->RegisterWriter(txn->id);
+    return txn->mvcc_write_ts;
+  }
+  return oracle->Next();
+}
+
+Status TsbTree::WriteCurrent(Transaction* txn, const Slice& key,
+                             bool tombstone, const Slice& value) {
+  if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
+  Status s;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    s = WriteVersion(txn, key, AllocateVersionTs(txn), tombstone, value);
+    if (!s.IsInvalidArgument()) return s;
+    // Stale timestamp: another writer committed a newer version of this
+    // key between our allocation and our lock acquisition. We now hold the
+    // record X lock (WriteVersion keeps its 2PL locks on this path), so a
+    // freshly allocated timestamp exceeds every committed version and the
+    // retry succeeds; the loop bound is sheer paranoia.
+  }
+  return s;
+}
+
+Status TsbTree::Put(Transaction* txn, const Slice& key, const Slice& value) {
+  return WriteCurrent(txn, key, /*tombstone=*/false, value);
+}
+
+Status TsbTree::Erase(Transaction* txn, const Slice& key) {
+  return WriteCurrent(txn, key, /*tombstone=*/true, Slice());
+}
+
 Status TsbTree::GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
                         std::string* value) {
   if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
@@ -824,6 +868,15 @@ Status TsbTree::GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
     return ls;
   }
 
+  Status result = ReadVersionInChain(std::move(cur), key, t, value);
+  for (const auto& [pid, k] : pending) {
+    (void)PostKeySplit(k);
+  }
+  return result;
+}
+
+Status TsbTree::ReadVersionInChain(PageHandle cur, const Slice& key,
+                                   TsbTime t, std::string* value) {
   Status result = Status::NotFound("no version");
   std::string probe = CompositeKey(key, t);
   for (;;) {
@@ -877,10 +930,143 @@ Status TsbTree::GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
     break;
   }
   cur.Reset();
-  for (const auto& [pid, k] : pending) {
-    (void)PostKeySplit(k);
-  }
   return result;
+}
+
+Status TsbTree::SnapshotGet(const Slice& key, TsbTime t, std::string* value) {
+  if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
+  // No lock-manager locks and no completion scheduling: a snapshot reader
+  // is invisible to the 2PL side. The snapshot timestamp guarantees every
+  // version at or below `t` is committed and immutable, and time splits
+  // only copy versions toward history nodes — a latched traversal always
+  // finds them.
+  PageHandle cur;
+  PITREE_RETURN_IF_ERROR(
+      DescendToLeaf(nullptr, key, LatchMode::kShared, &cur, nullptr));
+  return ReadVersionInChain(std::move(cur), key, t, value);
+}
+
+Status TsbTree::ScanAsOf(const Slice& start, const Slice& end, TsbTime t,
+                         size_t limit, std::vector<TsbScanEntry>* out) {
+  out->clear();
+  // Empty start = from the first key (the empty string sorts before every
+  // valid user key, so descending on it lands in the leftmost leaf).
+  if (!start.empty() && !ValidUserKey(start)) {
+    return Status::InvalidArgument("bad tsb key");
+  }
+  if (limit == 0) return Status::OK();
+  std::string cursor(start.data(), start.size());
+  bool done = false;
+  while (!done) {
+    PageHandle cur;
+    PITREE_RETURN_IF_ERROR(
+        DescendToLeaf(nullptr, cursor, LatchMode::kShared, &cur, nullptr));
+    // The current leaf's high key bounds the user-key range this round
+    // resolves. It must be captured before any history descent: sibling
+    // leaves share history nodes after key splits, so a historical node
+    // may cover a wider range than the leaf that led to it, and scanning
+    // past the leaf's bound would duplicate keys the next round re-reads.
+    bool upper_inf;
+    std::string upper;
+    {
+      NodeRef leaf(cur.data());
+      upper_inf = leaf.high_is_pos_inf();
+      if (!upper_inf) {
+        Slice ukey;
+        TsbTime unused;
+        // Leaf bounds are CompositeKey(user, 0) (KeySplit separators).
+        if (!SplitComposite(leaf.high_key(), &ukey, &unused)) {
+          cur.latch().ReleaseS();
+          return Status::Corruption("tsb: bad leaf high key");
+        }
+        upper.assign(ukey.data(), ukey.size());
+      }
+    }
+    // Walk to the chain node whose time interval contains `t`: a history
+    // node is a full copy of the node at its split time, so the first node
+    // with split coverage at or past `t` holds, for every key in range,
+    // the latest version at or before `t` (earlier prunes removed only
+    // versions superseded by, or keys dead before, that node's interval).
+    for (;;) {
+      NodeRef node(cur.data());
+      HistoryTerm hist;
+      if (!GetHistoryTerm(node, &hist) || t > hist.split_time) break;
+      PageHandle hh;
+      Status s = ctx_->pool->FetchPage(hist.page, &hh);
+      if (!s.ok()) {
+        cur.latch().ReleaseS();
+        return s;
+      }
+      stats_.history_hops.fetch_add(1, std::memory_order_relaxed);
+      hh.latch().AcquireS();
+      cur.latch().ReleaseS();
+      cur = std::move(hh);
+    }
+    // Enumerate user keys in [cursor, upper ∩ end) at time t: versions of
+    // one key are adjacent and time-ascending, so track the best (latest
+    // at-or-before t) version per key and emit on key change.
+    NodeRef node(cur.data());
+    std::string probe = CompositeKey(cursor, 0);
+    bool found;
+    int slot = node.FindSlot(probe, &found);
+    std::string pend_key;
+    Slice pend_val;
+    TsbTime pend_time = 0;
+    bool pend_live = false;
+    auto emit = [&]() {
+      if (!pend_key.empty() && pend_live) {
+        TsbScanEntry e;
+        e.key = pend_key;
+        e.time = pend_time;
+        e.value.assign(pend_val.data() + 1, pend_val.size() - 1);
+        out->push_back(std::move(e));
+      }
+      pend_key.clear();
+      pend_live = false;
+    };
+    for (int i = slot; i < node.entry_count() && !done; ++i) {
+      Slice ekey = node.EntryKey(i);
+      if (ekey == kHistoryEntryKey) continue;
+      Slice ukey;
+      TsbTime vt;
+      if (!SplitComposite(ekey, &ukey, &vt)) {
+        cur.latch().ReleaseS();
+        return Status::Corruption("tsb: bad composite in scan");
+      }
+      if (ukey.compare(cursor) < 0) continue;  // historical node is wider
+      if (!upper_inf && ukey.compare(upper) >= 0) break;
+      if (!end.empty() && ukey.compare(end) >= 0) {
+        // Entries are sorted, so the previous key's versions are complete.
+        emit();
+        done = true;
+        break;
+      }
+      if (ukey != pend_key) {
+        emit();
+        if (out->size() >= limit) {
+          done = true;
+          break;
+        }
+        pend_key.assign(ukey.data(), ukey.size());
+      }
+      if (vt <= t) {
+        Slice v = node.EntryValue(i);
+        pend_time = vt;
+        pend_val = v;
+        pend_live = !v.empty() && v[0] == kValueTagData;
+      }
+    }
+    if (!done) {
+      emit();
+      if (out->size() >= limit) done = true;
+    }
+    cur.latch().ReleaseS();
+    cur.Reset();
+    if (upper_inf) break;
+    if (!end.empty() && upper >= end.ToString()) break;
+    cursor = upper;
+  }
+  return Status::OK();
 }
 
 Status TsbTree::History(Transaction* txn, const Slice& key,
@@ -890,8 +1076,8 @@ Status TsbTree::History(Transaction* txn, const Slice& key,
   PageHandle cur;
   PITREE_RETURN_IF_ERROR(
       DescendToLeaf(txn, key, LatchMode::kShared, &cur, nullptr));
-  std::string hi = CompositeKey(key, ~TsbTime{0});
-  TsbTime oldest_seen = ~TsbTime{0};
+  std::string hi = CompositeKey(key, kTsbTimeMax);
+  TsbTime oldest_seen = kTsbTimeMax;
   for (;;) {
     NodeRef node(cur.data());
     bool found;
@@ -979,7 +1165,7 @@ Status TsbTree::CheckWellFormed(std::string* report) const {
         HistoryTerm hist;
         NodeRef cur_node(h.data());
         PageHandle walk_h;
-        TsbTime prev_time = ~TsbTime{0};
+        TsbTime prev_time = kTsbTimeMax;
         const NodeRef* cursor = &cur_node;
         PageHandle hold;
         int hops = 0;

@@ -15,8 +15,14 @@
 
 namespace pitree {
 
-/// Version timestamps: logical, monotonically increasing per tree.
+/// Version timestamps: logical, monotonically increasing per tree (drawn
+/// from the engine's TimestampOracle when one is wired up, so they share
+/// the commit-timestamp timeline).
 using TsbTime = uint64_t;
+
+/// "Read latest" sentinel: the maximum representable version time. Every
+/// real version timestamp is strictly below it.
+inline constexpr TsbTime kTsbTimeMax = ~TsbTime{0};
 
 struct TsbStats {
   std::atomic<uint64_t> key_splits{0};
@@ -30,6 +36,14 @@ struct TsbStats {
 struct TsbVersion {
   TsbTime time;
   bool deleted;        // tombstone
+  std::string value;
+};
+
+/// One result of a bounded as-of range scan: the key's live value at the
+/// scan's time, and the version timestamp it was written at.
+struct TsbScanEntry {
+  std::string key;
+  TsbTime time;
   std::string value;
 };
 
@@ -65,8 +79,11 @@ class TsbTree {
 
   static Status Create(EngineContext* ctx, PageId root);
 
-  /// Returns a fresh timestamp greater than any returned before.
-  TsbTime Now() { return clock_.fetch_add(1) + 1; }
+  /// Returns a fresh timestamp greater than any returned before. Delegates
+  /// to the engine's oracle when present so version times, split times, and
+  /// commit timestamps share one timeline; standalone trees fall back to a
+  /// per-tree clock.
+  TsbTime Now();
 
   /// Writes a new version of `key` at time `t` (t from Now(), or any value
   /// larger than the key's previous versions).
@@ -76,14 +93,34 @@ class TsbTree {
   /// Writes a deletion tombstone at time `t`.
   Status Erase(Transaction* txn, const Slice& key, TsbTime t);
 
+  /// MVCC write path: allocates the version time from the oracle,
+  /// registering `txn` as an active writer on its first write so snapshots
+  /// cannot advance past its uncommitted versions, and retries with a
+  /// fresh time when a concurrent committed writer raced the allocation
+  /// (the race resolves once this transaction holds the record X lock).
+  Status Put(Transaction* txn, const Slice& key, const Slice& value);
+  Status Erase(Transaction* txn, const Slice& key);
+
   /// Latest version as of `t` (NotFound if absent or tombstoned).
   Status GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
                  std::string* value);
 
   /// Current version (as of "now").
   Status Get(Transaction* txn, const Slice& key, std::string* value) {
-    return GetAsOf(txn, key, ~TsbTime{0}, value);
+    return GetAsOf(txn, key, kTsbTimeMax, value);
   }
+
+  /// Snapshot point read: latest version as of `t` with §4.1 latches only —
+  /// zero lock-manager locks. Correct when `t` is an oracle snapshot
+  /// timestamp: no version at or below it can be uncommitted or change.
+  Status SnapshotGet(const Slice& key, TsbTime t, std::string* value);
+
+  /// Bounded snapshot range scan over user keys in [start, end) as of `t`
+  /// (empty `start` = from the first key, empty `end` = unbounded),
+  /// appending at most `limit` live results to `out` in key order.
+  /// Latch-only, like SnapshotGet.
+  Status ScanAsOf(const Slice& start, const Slice& end, TsbTime t,
+                  size_t limit, std::vector<TsbScanEntry>* out);
 
   /// All versions of `key`, newest first, following history chains.
   Status History(Transaction* txn, const Slice& key,
@@ -144,6 +181,20 @@ class TsbTree {
 
   Status WriteVersion(Transaction* txn, const Slice& key, TsbTime t,
                       bool tombstone, const Slice& value);
+
+  /// MVCC write helper: version timestamp from the oracle (registering the
+  /// transaction as a writer on first use), with bounded retry on stale
+  /// timestamps.
+  Status WriteCurrent(Transaction* txn, const Slice& key, bool tombstone,
+                      const Slice& value);
+  TsbTime AllocateVersionTs(Transaction* txn);
+
+  /// Resolves `key` at time `t` starting from the S-latched chain node
+  /// `cur` (the current leaf covering the key), following history sibling
+  /// pointers while every version here is newer than `t`. Consumes `cur`
+  /// (latch released on every path).
+  Status ReadVersionInChain(PageHandle cur, const Slice& key, TsbTime t,
+                            std::string* value);
 
   EngineContext* const ctx_;
   const PageId root_;

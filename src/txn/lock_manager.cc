@@ -205,6 +205,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
       }
     }
     held->second = target;
+    ++grants_;
     CheckGrantInvariant(q, "conversion");
     cv_.notify_all();
     return Status::OK();
@@ -240,6 +241,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
     }
   }
   txn->held_locks[resource] = mode;
+  ++grants_;
   analysis::OnLockGranted(resource.c_str(), txn->id);
   CheckGrantInvariant(q, "fresh");
   cv_.notify_all();
@@ -290,6 +292,11 @@ bool LockManager::WouldConflict(TxnId self, const std::string& resource,
 uint64_t LockManager::deadlock_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return deadlocks_;
+}
+
+uint64_t LockManager::grant_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return grants_;
 }
 
 }  // namespace pitree

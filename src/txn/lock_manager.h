@@ -59,6 +59,11 @@ class LockManager {
   /// Number of waits that ended in deadlock victimization (stats).
   uint64_t deadlock_count() const;
 
+  /// Number of grants (fresh acquisitions + strengthening conversions).
+  /// The MVCC tests assert this stays flat across snapshot reads: a
+  /// snapshot reader never touches the lock manager at all.
+  uint64_t grant_count() const;
+
  private:
   struct Request {
     TxnId txn;
@@ -78,6 +83,7 @@ class LockManager {
   // txn -> resource it is currently blocked on (one at a time per thread).
   std::unordered_map<TxnId, std::string> waiting_on_;
   uint64_t deadlocks_ = 0;
+  uint64_t grants_ = 0;
 };
 
 }  // namespace pitree

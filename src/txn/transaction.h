@@ -45,6 +45,12 @@ struct Transaction {
   /// During rollback: next record to undo (kInvalidLsn = use last_lsn).
   Lsn undo_next = kInvalidLsn;
 
+  /// MVCC: first version timestamp this transaction wrote at (0 = none).
+  /// Set when the TSB-tree registers the transaction as an active writer
+  /// with the oracle; the registration pins the snapshot horizon below it
+  /// until the commit is published (or the transaction ends).
+  uint64_t mvcc_write_ts = 0;
+
   /// Locks currently held: resource name -> strongest granted mode.
   std::map<std::string, LockMode> held_locks;
 };

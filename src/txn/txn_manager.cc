@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "mvcc/timestamp_oracle.h"
+
 namespace pitree {
 
 Transaction* TxnManager::Begin(bool is_system) {
@@ -35,8 +37,21 @@ Status TxnManager::Commit(Transaction* txn) {
   }
   if (logged) {
     Lsn lsn;
-    PITREE_RETURN_IF_ERROR(wal_->Append(MakeCommit(txn->id, txn->last_lsn),
-                                        &lsn));
+    Timestamp cts = 0;
+    if (oracle_ != nullptr) {
+      // Allocate the commit timestamp and append the commit record under
+      // one mutex: commit-timestamp order equals LSN order, so "commits
+      // with cts <= visible" and "commits in the durable prefix" name the
+      // same set — a snapshot can never admit a commit whose record could
+      // be lost while an earlier-stamped one survives.
+      std::lock_guard<std::mutex> order(commit_order_mu_);
+      cts = oracle_->AllocateCommitTs();
+      PITREE_RETURN_IF_ERROR(
+          wal_->Append(MakeCommit(txn->id, txn->last_lsn, cts), &lsn));
+    } else {
+      PITREE_RETURN_IF_ERROR(wal_->Append(MakeCommit(txn->id, txn->last_lsn),
+                                          &lsn));
+    }
     if (!txn->is_system) {
       // Durability for user transactions: park on the group-commit pipeline
       // until the commit record is durable. The wait holds no latches or
@@ -46,6 +61,12 @@ Status TxnManager::Commit(Transaction* txn) {
       // Atomic actions rely on relative durability (§4.3.1): no force here.
       PITREE_RETURN_IF_ERROR(wal_->Flush(lsn));
     }
+    // Publish visibility only after the force: a snapshot that reads this
+    // commit must never out-live it across a crash. (Atomic actions publish
+    // at append — no user-visible version depends on their timestamp.)
+    // The writer stays registered until after the publish so no snapshot
+    // lands in the gap where its versions are stamped but not yet visible.
+    if (oracle_ != nullptr) oracle_->PublishCommit(cts);
   }
   txn->state = TxnState::kCommitted;
   locks_->ReleaseAll(txn);
@@ -94,6 +115,10 @@ Transaction* TxnManager::AdoptLoser(TxnId id, bool is_system, Lsn last_lsn,
 }
 
 void TxnManager::Discard(Transaction* txn) {
+  // Every transaction-destruction path funnels through here (commit, abort,
+  // recovery losers, atomic-action error paths), so this is the one place
+  // the oracle's writer registration is guaranteed to be dropped.
+  if (oracle_ != nullptr) oracle_->DeregisterWriter(txn->id);
   std::lock_guard<std::mutex> lk(mu_);
   begun_.erase(txn->id);
   active_.erase(txn->id);  // destroys *txn

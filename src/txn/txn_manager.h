@@ -16,6 +16,8 @@
 
 namespace pitree {
 
+class TimestampOracle;
+
 /// Snapshot of one active transaction, for the checkpoint ATT.
 struct AttEntry {
   TxnId txn_id;
@@ -45,6 +47,13 @@ class TxnManager {
   /// undo share one code path).
   using RollbackFn = std::function<Status(Transaction*)>;
   void set_rollback_handler(RollbackFn fn) { rollback_ = std::move(fn); }
+
+  /// MVCC wiring (installed by Database). With an oracle, Commit allocates
+  /// a commit timestamp and appends the kCommit record under one mutex —
+  /// inside the group-commit pipeline's append stage — so commit-timestamp
+  /// order equals LSN order and snapshot visibility equals WAL durability
+  /// order; the timestamp is published to snapshots only after the force.
+  void set_oracle(TimestampOracle* oracle) { oracle_ = oracle; }
 
   /// Starts a user transaction (is_system=false) or an atomic action
   /// (is_system=true). The kBegin record is logged lazily on first update,
@@ -83,6 +92,11 @@ class TxnManager {
   WalManager* const wal_;
   LockManager* const locks_;
   RollbackFn rollback_;
+  TimestampOracle* oracle_ = nullptr;
+  /// Serializes commit-timestamp allocation with the commit-record append.
+  /// Append() does no I/O (the group-commit pipeline stages bytes in
+  /// memory), so this critical section is a few hundred nanoseconds.
+  std::mutex commit_order_mu_;
 
   mutable std::mutex mu_;
   std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;

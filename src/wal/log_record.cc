@@ -28,6 +28,8 @@ void LogRecord::EncodeTo(std::string* dst) const {
       PutLengthPrefixedSlice(dst, misc);
       break;
     case LogRecordType::kCommit:
+      PutVarint64(dst, commit_ts);
+      break;
     case LogRecordType::kAbort:
     case LogRecordType::kEnd:
       break;
@@ -89,6 +91,11 @@ Status LogRecord::DecodeFrom(Slice in) {
       misc.assign(s.data(), s.size());
       break;
     case LogRecordType::kCommit:
+      // Tolerate pre-MVCC commit records that carry no timestamp.
+      if (!in.empty() && !GetVarint64(&in, &commit_ts)) {
+        return Status::Corruption("log commit ts");
+      }
+      break;
     case LogRecordType::kAbort:
     case LogRecordType::kEnd:
       break;
@@ -107,11 +114,12 @@ LogRecord MakeBegin(TxnId txn, bool is_system) {
   return r;
 }
 
-LogRecord MakeCommit(TxnId txn, Lsn prev) {
+LogRecord MakeCommit(TxnId txn, Lsn prev, uint64_t commit_ts) {
   LogRecord r;
   r.type = LogRecordType::kCommit;
   r.txn_id = txn;
   r.prev_lsn = prev;
+  r.commit_ts = commit_ts;
   return r;
 }
 

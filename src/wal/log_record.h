@@ -77,6 +77,12 @@ struct LogRecord {
   std::string undo;       // payload whose redo-application undoes this record
   Lsn undo_next = kInvalidLsn;  // kClr: next record of this txn to undo
 
+  // kCommit: the transaction's MVCC commit timestamp (0 when the engine
+  // runs without an oracle). Allocated under the commit-order mutex with
+  // the append, so commit-timestamp order equals LSN order and recovery
+  // can restart the oracle above the largest value it replays.
+  uint64_t commit_ts = 0;
+
   // kBegin flags / kCheckpointEnd tables.
   std::string misc;
 
@@ -94,7 +100,7 @@ struct LogRecord {
 
 /// Helpers for constructing common records.
 LogRecord MakeBegin(TxnId txn, bool is_system);
-LogRecord MakeCommit(TxnId txn, Lsn prev);
+LogRecord MakeCommit(TxnId txn, Lsn prev, uint64_t commit_ts = 0);
 LogRecord MakeAbort(TxnId txn, Lsn prev);
 LogRecord MakeEnd(TxnId txn, Lsn prev);
 

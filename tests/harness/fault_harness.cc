@@ -10,6 +10,7 @@
 
 #include "common/random.h"
 #include "db/database.h"
+#include "recovery/checkpoint.h"
 #include "wal/log_reader.h"
 
 namespace pitree {
@@ -289,6 +290,39 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
 
   const Lsn prefix_end = ValidWalPrefix(env, kWalFile);
 
+  // MVCC commit-timestamp audit over the valid WAL prefix: commit
+  // timestamps are allocated under the commit-order mutex with the commit
+  // record's append, so in LSN order they must be strictly monotone; the
+  // maximum (including the checkpoint's oracle high-water, which covers
+  // records truncated from the analysis scan's view) is the floor the
+  // restarted oracle must clear.
+  uint64_t max_commit_ts = 0;
+  if (env->FileExists(kWalFile)) {
+    std::unique_ptr<File> f;
+    if (!env->OpenFile(kWalFile, &f).ok()) {
+      return fail() << "cannot reopen wal for commit-ts audit";
+    }
+    LogReader reader(f.get());
+    LogRecord rec;
+    uint64_t prev = 0;
+    while (reader.ReadNext(&rec).ok() && reader.offset() <= prefix_end) {
+      if (rec.type == LogRecordType::kCommit && rec.commit_ts != 0) {
+        if (rec.commit_ts <= prev) {
+          return fail() << "commit timestamps not strictly monotone: "
+                        << rec.commit_ts << " after " << prev << " at lsn "
+                        << rec.lsn;
+        }
+        prev = rec.commit_ts;
+        max_commit_ts = std::max(max_commit_ts, rec.commit_ts);
+      } else if (rec.type == LogRecordType::kCheckpointEnd) {
+        CheckpointData data;
+        if (DecodeCheckpoint(rec.misc, &data).ok()) {
+          max_commit_ts = std::max(max_commit_ts, data.oracle_ts);
+        }
+      }
+    }
+  }
+
   // Recover with inline completion: the oracle's own checks then see a
   // stable tree without racing background workers. (Crash states produced
   // under workers must recover under any completion regime — §5.1 hints
@@ -299,6 +333,16 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
   std::unique_ptr<Database> db;
   Status s = Database::Open(opts, env, kDbName, &db);
   if (!s.ok()) return fail() << "recovery failed: " << s.ToString();
+
+  // The restarted oracle must never re-issue a durable commit timestamp.
+  if (db->oracle()->last_issued() < max_commit_ts) {
+    return fail() << "oracle restarted below durable commit ts "
+                  << max_commit_ts << " (at " << db->oracle()->last_issued()
+                  << ")";
+  }
+  if (db->oracle()->Next() <= max_commit_ts) {
+    return fail() << "oracle re-issued a durable commit timestamp";
+  }
 
   PiTree* tree = nullptr;
   Status gi = db->GetIndex(kIndexName, &tree);

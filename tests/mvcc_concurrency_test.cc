@@ -1,0 +1,188 @@
+// Snapshot reads racing MVCC writers and the time splits they trigger.
+//
+// Writers overwrite a small key set with sizeable values so current leaves
+// fill with dead versions and time-split continuously (versions migrate to
+// historical nodes while readers hold snapshots pointing at them). Readers
+// assert snapshot isolation the whole time: every read is repeatable within
+// its snapshot, values are never torn or cross-key, and a snapshot pinned
+// before the storm still sees the seed data after hundreds of splits.
+//
+// Run under TSan with the invariant checker ON (the sanitizer CI job) to
+// machine-check the claim that the latch-only snapshot path is race-free.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/latch_checker.h"
+#include "db/database.h"
+#include "env/sim_env.h"
+
+namespace pitree {
+namespace {
+
+constexpr int kKeys = 12;
+constexpr int kWriters = 3;
+constexpr int kReaders = 3;
+constexpr int kCommitsPerWriter = 250;
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%04d", i);
+  return buf;
+}
+
+// Self-describing value: readers can detect cross-key mixups and tearing
+// without coordinating with writers. Padded so overwrites fill leaves fast.
+std::string Value(int key, const std::string& tag) {
+  std::string v = Key(key) + "#" + tag;
+  v.resize(120, '.');
+  return v;
+}
+
+class MvccConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Options opts;
+    opts.buffer_pool_pages = 4096;
+    ASSERT_TRUE(Database::Open(opts, &env_, "db", &db_).ok());
+    ASSERT_TRUE(db_->CreateTsbIndex("versions", &tree_).ok());
+  }
+
+  // One committed MVCC overwrite, retried across lock conflicts.
+  bool CommitPut(int key, const std::string& tag) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      Transaction* txn = db_->Begin();
+      Status s = tree_->Put(txn, Key(key), Value(key, tag));
+      if (s.ok()) s = db_->Commit(txn);
+      if (s.ok()) return true;
+      (void)db_->Abort(txn);
+      if (!s.IsBusy() && !s.IsDeadlock()) return false;
+      std::this_thread::yield();
+    }
+    return false;
+  }
+
+  void Fail(const std::string& why) {
+    ++errors_;
+    std::lock_guard<std::mutex> lk(err_mu_);
+    if (first_error_.empty()) first_error_ = why;
+  }
+
+  SimEnv env_;
+  std::unique_ptr<Database> db_;
+  TsbTree* tree_ = nullptr;
+  std::atomic<int> errors_{0};
+  std::mutex err_mu_;
+  std::string first_error_;
+};
+
+TEST_F(MvccConcurrencyTest, SnapshotsStayConsistentAcrossTimeSplits) {
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(CommitPut(k, "seed"));
+  }
+  // Pinned before the storm; checked after it: its versions migrate into
+  // historical nodes under it and must remain reachable and unchanged.
+  auto pinned = db_->BeginSnapshot();
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([this, w] {
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        int key = (w + i) % kKeys;
+        if (!CommitPut(key, "w" + std::to_string(w) + "r" +
+                                std::to_string(i))) {
+          Fail("writer commit failed");
+          return;
+        }
+      }
+    });
+  }
+
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([this, r, &writers_done] {
+      uint64_t rounds = 0;
+      while (!writers_done.load(std::memory_order_acquire) || rounds < 5) {
+        ++rounds;
+        auto snap = db_->BeginSnapshot();
+        // Point reads: present, well-formed, and repeatable.
+        for (int k = r % kKeys; k < kKeys; k += kReaders) {
+          std::string v1, v2;
+          Status s1 = snap->Get(tree_, Key(k), &v1);
+          Status s2 = snap->Get(tree_, Key(k), &v2);
+          if (!s1.ok() || !s2.ok()) {
+            Fail("snapshot Get failed: " + s1.ToString());
+            return;
+          }
+          if (v1 != v2) {
+            Fail("non-repeatable Get within one snapshot");
+            return;
+          }
+          if (v1.compare(0, Key(k).size() + 1, Key(k) + "#") != 0 ||
+              v1.size() != 120) {
+            Fail("torn or cross-key value: " + v1);
+            return;
+          }
+        }
+        // Scans: complete and repeatable.
+        std::vector<TsbScanEntry> a, b;
+        if (!snap->Scan(tree_, "", "", kKeys * 2, &a).ok() ||
+            !snap->Scan(tree_, "", "", kKeys * 2, &b).ok()) {
+          Fail("snapshot Scan failed");
+          return;
+        }
+        if (a.size() != static_cast<size_t>(kKeys)) {
+          Fail("scan missed keys");
+          return;
+        }
+        for (size_t i = 0; i < a.size(); ++i) {
+          if (a[i].key != b[i].key || a[i].time != b[i].time ||
+              a[i].value != b[i].value) {
+            Fail("non-repeatable Scan within one snapshot");
+            return;
+          }
+        }
+      }
+      // This thread only ever read through snapshots: the lock manager
+      // must never have granted it anything (checker builds track this
+      // per thread; zero elsewhere by definition).
+      if (analysis::LockGrantsForTest() != 0) {
+        Fail("snapshot reader acquired a lock-manager lock");
+      }
+    });
+  }
+
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_release);
+  for (size_t i = kWriters; i < threads.size(); ++i) threads[i].join();
+
+  ASSERT_EQ(errors_.load(), 0) << first_error_;
+  // The workload actually exercised the race: versions migrated.
+  EXPECT_GT(tree_->stats().time_splits.load(), 0u);
+
+  // The pinned snapshot still reads the seed world through history chains.
+  std::string v;
+  for (int k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(pinned->Get(tree_, Key(k), &v).ok()) << k;
+    EXPECT_EQ(v, Value(k, "seed"));
+  }
+  std::vector<TsbScanEntry> out;
+  ASSERT_TRUE(pinned->Scan(tree_, "", "", kKeys * 2, &out).ok());
+  ASSERT_EQ(out.size(), static_cast<size_t>(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(out[k].value, Value(k, "seed"));
+  }
+
+  std::string report;
+  EXPECT_TRUE(tree_->CheckWellFormed(&report).ok()) << report;
+}
+
+}  // namespace
+}  // namespace pitree

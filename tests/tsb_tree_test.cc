@@ -73,7 +73,7 @@ TEST_F(TsbTreeTest, CompositeKeyRoundTripAndOrdering) {
 TEST_F(TsbTreeTest, PutGetCurrentVersion) {
   ASSERT_TRUE(PutOne("k", "v1", tree_->Now()).ok());
   std::string v;
-  ASSERT_TRUE(GetAsOf("k", ~TsbTime{0}, &v).ok());
+  ASSERT_TRUE(GetAsOf("k", kTsbTimeMax, &v).ok());
   EXPECT_EQ(v, "v1");
 }
 
@@ -139,7 +139,7 @@ TEST_F(TsbTreeTest, UpdateHeavyWorkloadForcesTimeSplits) {
   // Every key's current version is the last round's.
   std::string v;
   for (int k = 0; k < 8; ++k) {
-    ASSERT_TRUE(GetAsOf(Key(k), ~TsbTime{0}, &v).ok());
+    ASSERT_TRUE(GetAsOf(Key(k), kTsbTimeMax, &v).ok());
     EXPECT_EQ(v, value + "119");
   }
 }
@@ -155,7 +155,7 @@ TEST_F(TsbTreeTest, InsertHeavyWorkloadForcesKeySplits) {
   ASSERT_TRUE(tree_->CheckWellFormed(&report).ok()) << report;
   std::string v;
   for (int i = 0; i < 1500; i += 83) {
-    ASSERT_TRUE(GetAsOf(Key(i), ~TsbTime{0}, &v).ok()) << i;
+    ASSERT_TRUE(GetAsOf(Key(i), kTsbTimeMax, &v).ok()) << i;
   }
 }
 
@@ -299,7 +299,7 @@ TEST_F(TsbTreeTest, SurvivesCrashAndRecovery) {
   ASSERT_TRUE(tree2->CheckWellFormed(&report).ok()) << report;
   Transaction* txn = db2->Begin();
   std::string v;
-  ASSERT_TRUE(tree2->GetAsOf(txn, Key(10), ~TsbTime{0}, &v).ok());
+  ASSERT_TRUE(tree2->GetAsOf(txn, Key(10), kTsbTimeMax, &v).ok());
   EXPECT_EQ(v, "updated");
   ASSERT_TRUE(tree2->GetAsOf(txn, Key(10), t1, &v).ok());
   EXPECT_EQ(v.size(), 150u);
