@@ -103,6 +103,25 @@ struct Options {
   /// (50 = split at the median).
   size_t split_point_pct = 50;
 
+  /// Instant restore (DESIGN.md §13). When true, Database::Open returns
+  /// after recovery's analysis and undo passes: redo is deferred to a
+  /// per-page RecoveryMap that the buffer pool consults on first fetch, so
+  /// traffic is served while history is still being repeated. When false
+  /// (the default), Open drains the whole redo phase first — the pre-§13
+  /// offline behavior, byte-equivalent page images either way.
+  bool instant_restore = false;
+
+  /// Whether instant restore starts a background sweeper thread that
+  /// fetches still-pending pages until the RecoveryMap drains. Disabled by
+  /// tests that want deterministic, demand-only lazy redo. Ignored when
+  /// instant_restore is false.
+  bool recovery_sweeper = true;
+
+  /// Microseconds the recovery sweeper pauses between pages. Tests widen
+  /// this to keep the map populated while foreground traffic races lazy
+  /// redo; 0 drains as fast as the disk allows.
+  size_t recovery_sweep_delay_us = 0;
+
   /// Deterministic fault-injection schedule (env/fault_plan.h), installed
   /// into the Env at Open. Test-only: SimEnv honors it (injected I/O errors,
   /// torn writes at crash, sync-point recording); environments backed by

@@ -2,6 +2,8 @@
 // pages under X before any concurrency exists; audited with the checker.
 #include "db/database.h"
 
+#include <chrono>
+
 #include "common/coding.h"
 #include "engine/log_apply.h"
 #include "engine/page_alloc.h"
@@ -33,9 +35,15 @@ Status Database::Init(const Options& options, Env* env,
       wal_.Open(env, name + ".wal", options.wal_group_commit_window_us));
   ctx_.wal = &wal_;
 
+  // The redo index exists in both recovery modes (empty after offline
+  // recovery); analysis installs into it, the pool replays from it.
+  recovery_map_ = std::make_unique<RecoveryMap>(&wal_);
+  ctx_.recovery_map = recovery_map_.get();
+
   pool_ = std::make_unique<BufferPool>(
       &disk_, options.buffer_pool_pages,
       [this](Lsn lsn) { return wal_.Flush(lsn); }, options.buffer_pool_shards);
+  pool_->set_recovery_map(recovery_map_.get());
   ctx_.pool = pool_.get();
 
   ctx_.locks = &locks_;
@@ -65,7 +73,8 @@ Status Database::Init(const Options& options, Env* env,
       });
 
   checkpoints_ = std::make_unique<CheckpointManager>(
-      env, &wal_, pool_.get(), txns_.get(), name + ".master", oracle_.get());
+      env, &wal_, pool_.get(), txns_.get(), name + ".master", oracle_.get(),
+      recovery_map_.get());
 
   maintenance_ = std::make_unique<MaintenanceService>(options);
   ctx_.maintenance = maintenance_.get();
@@ -77,7 +86,20 @@ Status Database::Init(const Options& options, Env* env,
   maintenance_->RegisterSweepTask("wellformed-audit", [this] { AuditTask(); });
 
   // Crash recovery (a no-op for a fresh database with an empty log).
-  PITREE_RETURN_IF_ERROR(recovery_->Run(stats));
+  if (options.instant_restore) {
+    // Instant restore (DESIGN.md §13): analysis builds the per-page redo
+    // index, undo rolls back losers (fetching a loser's pages replays them
+    // on demand through the same map), and Open returns with redo pending.
+    // First fetch of each remaining page repeats its history lazily.
+    PITREE_RETURN_IF_ERROR(recovery_->RunAnalysis(stats));
+    PITREE_RETURN_IF_ERROR(recovery_->RunUndo(stats));
+    if (stats != nullptr) {
+      stats->records_redone = recovery_map_->records_replayed();
+      stats->pages_pending = recovery_map_->pending_pages();
+    }
+  } else {
+    PITREE_RETURN_IF_ERROR(recovery_->Run(stats));
+  }
 
   // Bootstrap if the metadata pages are not yet formatted. This runs inside
   // one atomic action, so a crash mid-bootstrap leaves nothing behind.
@@ -135,10 +157,16 @@ Status Database::Init(const Options& options, Env* env,
       options.maintenance_sweep_interval_ms > 0) {
     maintenance_->Start();
   }
+  if (options.instant_restore && options.recovery_sweeper &&
+      recovery_map_->pending_pages() > 0) {
+    recovery_sweeper_ = std::thread([this] { RecoverySweepLoop(); });
+  }
   return Status::OK();
 }
 
 Database::~Database() {
+  sweeper_stop_.store(true, std::memory_order_relaxed);
+  if (recovery_sweeper_.joinable()) recovery_sweeper_.join();
   // Stop drains every queued completing action before joining the workers:
   // a clean shutdown finishes scheduled maintenance instead of losing it.
   // (Null when Init failed before constructing the service.)
@@ -280,6 +308,69 @@ Status Database::GetTsbIndex(const std::string& name, TsbTree** tree) {
   }
   *tree = TsbAt(root);
   return Status::OK();
+}
+
+Status Database::WaitUntilRecovered() {
+  // Drive the drain directly instead of waiting on the sweeper: fetching a
+  // pending page replays it (and retires the map entry) whether or not a
+  // sweeper thread exists. Busy means the page's shard is transiently full
+  // of pins — back off briefly and retry; a persistently full shard
+  // surfaces after the retry budget rather than spinning forever.
+  PageId floor = 0;
+  int busy_streak = 0;
+  PageId pid;
+  while (recovery_map_->FirstPendingAtLeast(floor, &pid)) {
+    PageHandle h;
+    Status s = pool_->FetchPage(pid, &h);
+    if (s.IsBusy()) {
+      if (++busy_streak > 1000) return s;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    PITREE_RETURN_IF_ERROR(s);
+    busy_streak = 0;
+    floor = pid + 1;
+  }
+  return Status::OK();
+}
+
+void Database::RecoverySweepLoop() {
+  // Lazy-redo background drain: walk pending page ids in order, fetching
+  // each so the pool's replay hook repeats its history. Demand fetches and
+  // this loop race benignly — whichever claims the frame first replays;
+  // the other finds the entry gone or the page resident.
+  const auto delay =
+      std::chrono::microseconds(ctx_.options.recovery_sweep_delay_us);
+  PageId floor = 0;
+  int busy_streak = 0;
+  while (!sweeper_stop_.load(std::memory_order_relaxed)) {
+    PageId pid;
+    if (!recovery_map_->FirstPendingAtLeast(floor, &pid)) {
+      if (floor == 0) break;  // map drained
+      floor = 0;  // entries may remain below the cursor; wrap and recheck
+      continue;
+    }
+    PageHandle h;
+    Status s = pool_->FetchPage(pid, &h);
+    h.Reset();
+    if (s.IsBusy()) {
+      // Shard full of pins right now; let foreground traffic drain it.
+      // Cap the streak so a permanently-starved sweeper still exits on
+      // stop instead of hammering the shard.
+      if (++busy_streak > 1000) busy_streak = 1000;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      continue;
+    }
+    busy_streak = 0;
+    if (!s.ok()) {
+      // I/O or replay fault: leave the entry for a demand fetch (which
+      // will surface the error to a caller who can act on it) and move on.
+      floor = pid + 1;
+      continue;
+    }
+    floor = pid + 1;
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
 }
 
 Status Database::Checkpoint() { return checkpoints_->TakeCheckpoint(); }

@@ -1,9 +1,11 @@
 #ifndef PITREE_DB_DATABASE_H_
 #define PITREE_DB_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "common/options.h"
@@ -17,6 +19,7 @@
 #include "pitree/pi_tree.h"
 #include "recovery/checkpoint.h"
 #include "recovery/recovery_manager.h"
+#include "recovery/recovery_map.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "tsb/tsb_tree.h"
@@ -35,6 +38,15 @@ namespace pitree {
 /// interrupted structure change either completed (its atomic actions that
 /// committed) or cleanly absent (the loser action undone); no index-specific
 /// recovery code exists (paper claim 4).
+///
+/// With Options::instant_restore, Open() returns after analysis + undo only:
+/// redo is deferred into a per-page index (recovery/recovery_map.h) that the
+/// buffer pool consults on first fetch, so traffic is served while history
+/// repeats lazily. A background sweeper (Options::recovery_sweeper) touches
+/// the remaining pages so the map drains even without traffic;
+/// WaitUntilRecovered() blocks until it is empty. Either mode produces
+/// byte-identical pages — redo is per-page and the LSN state identifier
+/// makes each page's replay order-insensitive across pages.
 class Database {
  public:
   /// Opens (creating if necessary) the database `name` within `env`.
@@ -73,6 +85,23 @@ class Database {
   Status CreateTsbIndex(const std::string& name, TsbTree** tree);
   Status GetTsbIndex(const std::string& name, TsbTree** tree);
 
+  // -- recovery -------------------------------------------------------------
+  /// Blocks until every page pending lazy redo has been replayed (a no-op
+  /// after offline recovery, or once the map has drained). Drives the drain
+  /// itself — it does not merely wait on the sweeper — so it converges even
+  /// with Options::recovery_sweeper off. Call with no transactions' latches
+  /// held (it fetches pages).
+  Status WaitUntilRecovered();
+
+  /// Pages still awaiting lazy redo; zero once recovery has fully repeated
+  /// history. Lock-free.
+  size_t recovery_pending_pages() const {
+    return recovery_map_->pending_pages();
+  }
+
+  /// The instant-restore redo index (tests probe its counters).
+  RecoveryMap* recovery_map() { return recovery_map_.get(); }
+
   // -- maintenance ----------------------------------------------------------
   /// Takes a fuzzy checkpoint (ATT + DPT + master record).
   Status Checkpoint();
@@ -102,10 +131,14 @@ class Database {
   std::vector<PiTree*> SnapshotTrees();
   void SweepConsolidationTask();
   void AuditTask();
+  /// Background lazy-redo drain: fetches pending pages in id order so the
+  /// recovery map empties even on a read-light workload.
+  void RecoverySweepLoop();
 
   EngineContext ctx_;
   DiskManager disk_;
   WalManager wal_;
+  std::unique_ptr<RecoveryMap> recovery_map_;
   std::unique_ptr<BufferPool> pool_;
   LockManager locks_;
   std::unique_ptr<TimestampOracle> oracle_;
@@ -122,6 +155,9 @@ class Database {
   std::mutex maint_mu_;  // sweep cursors + audit RNG
   std::unordered_map<PageId, std::string> sweep_cursors_;
   Random audit_rnd_{0xA0D17};
+
+  std::thread recovery_sweeper_;
+  std::atomic<bool> sweeper_stop_{false};
 };
 
 }  // namespace pitree

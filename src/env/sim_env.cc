@@ -26,18 +26,27 @@ class SimFile : public File {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    std::lock_guard<std::mutex> guard(*mu_);
-    if (FaultPlan* plan = env_->fault_plan()) {
-      PITREE_RETURN_IF_ERROR(plan->BeforeOp(FaultOp::kRead, name_));
+    {
+      std::lock_guard<std::mutex> guard(*mu_);
+      if (FaultPlan* plan = env_->fault_plan()) {
+        PITREE_RETURN_IF_ERROR(plan->BeforeOp(FaultOp::kRead, name_));
+      }
+      const std::string& img = state_->volatile_;
+      if (offset >= img.size()) {
+        *result = Slice(scratch, 0);
+      } else {
+        size_t avail = std::min<uint64_t>(n, img.size() - offset);
+        memcpy(scratch, img.data() + offset, avail);
+        *result = Slice(scratch, avail);
+      }
     }
-    const std::string& img = state_->volatile_;
-    if (offset >= img.size()) {
-      *result = Slice(scratch, 0);
-      return Status::OK();
+    // Modeled device read service time (an IOPS model: per operation, not
+    // per byte), paid outside the env mutex so only the reading thread
+    // stalls. See SimEnv::set_read_delay_us.
+    uint64_t delay = env_->read_delay_us();
+    if (delay > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
     }
-    size_t avail = std::min<uint64_t>(n, img.size() - offset);
-    memcpy(scratch, img.data() + offset, avail);
-    *result = Slice(scratch, avail);
     return Status::OK();
   }
 

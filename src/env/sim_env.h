@@ -67,6 +67,20 @@ class SimEnv : public Env {
     return sync_delay_us_.load(std::memory_order_relaxed);
   }
 
+  /// Models device read service time: every successful File::Read() sleeps
+  /// this long, outside the env mutex, regardless of size — an IOPS model,
+  /// not a bandwidth model, so N small reads cost N times one big read.
+  /// 0 (default) sleeps nothing. The instant-restore benchmark uses this:
+  /// on such a device, slab-buffered log scans are nearly free while
+  /// per-record random replay pays full price per record, which is the
+  /// asymmetry between restore strategies on real storage.
+  void set_read_delay_us(uint64_t us) {
+    read_delay_us_.store(us, std::memory_order_relaxed);
+  }
+  uint64_t read_delay_us() const {
+    return read_delay_us_.load(std::memory_order_relaxed);
+  }
+
   /// Internal per-file state; public so the File implementation (an
   /// implementation-detail class in the .cc) can reference it.
   /// The dirty range makes Sync() O(bytes written since the last sync)
@@ -87,6 +101,7 @@ class SimEnv : public Env {
   std::map<std::string, std::shared_ptr<FileState>> files_;
   uint64_t sync_count_ = 0;
   std::atomic<uint64_t> sync_delay_us_{0};
+  std::atomic<uint64_t> read_delay_us_{0};
   FaultPlan* fault_plan_ = nullptr;
 };
 

@@ -1,7 +1,10 @@
 #include "recovery/checkpoint.h"
 
+#include <algorithm>
+
 #include "common/coding.h"
 #include "mvcc/timestamp_oracle.h"
+#include "recovery/recovery_map.h"
 #include "wal/log_record.h"
 
 namespace pitree {
@@ -73,6 +76,25 @@ Status CheckpointManager::TakeCheckpoint() {
   CheckpointData data;
   data.att = txns_->SnapshotAtt();
   data.dpt = pool_->DirtyPageTable();
+  if (recovery_map_ != nullptr) {
+    // Pages still awaiting lazy redo are dirty-in-spirit: their durable
+    // images predate their recLSNs, and nothing will flush them until a
+    // fetch replays them. Fold them in so a crash after this checkpoint
+    // re-derives their redo work. The pool snapshot and the map snapshot
+    // may both carry a page (the fetch path marks the frame dirty before
+    // retiring the map entry — double-report, never a gap); keep the
+    // smaller recLSN so redo starts early enough for both histories.
+    for (const auto& [page, rec_lsn] : recovery_map_->PendingDpt()) {
+      auto it = std::find_if(
+          data.dpt.begin(), data.dpt.end(),
+          [page = page](const auto& e) { return e.first == page; });
+      if (it == data.dpt.end()) {
+        data.dpt.emplace_back(page, rec_lsn);
+      } else if (rec_lsn < it->second) {
+        it->second = rec_lsn;
+      }
+    }
+  }
   // Read the clock after the ATT snapshot: any commit record that analysis
   // will not scan (it precedes this checkpoint) drew its timestamp before
   // this read, so the stamped high-water bounds it.

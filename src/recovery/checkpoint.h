@@ -15,6 +15,7 @@
 namespace pitree {
 
 class TimestampOracle;
+class RecoveryMap;
 
 /// Payload of a kCheckpointEnd record: the active-transaction table and
 /// dirty-page table at checkpoint time, plus the MVCC oracle's high-water.
@@ -37,14 +38,20 @@ Status DecodeCheckpoint(Slice in, CheckpointData* data);
 /// at the most recent kCheckpointBegin so analysis knows where to start.
 class CheckpointManager {
  public:
+  /// `recovery_map`, when set, folds pages still awaiting lazy redo into
+  /// the checkpoint DPT: their durable images predate their recLSNs, so a
+  /// checkpoint taken during instant restore must keep their redo
+  /// obligations alive for any second crash.
   CheckpointManager(Env* env, WalManager* wal, BufferPool* pool,
                     TxnManager* txns, std::string master_path,
-                    TimestampOracle* oracle = nullptr)
+                    TimestampOracle* oracle = nullptr,
+                    RecoveryMap* recovery_map = nullptr)
       : env_(env),
         wal_(wal),
         pool_(pool),
         txns_(txns),
         oracle_(oracle),
+        recovery_map_(recovery_map),
         master_path_(std::move(master_path)) {}
 
   /// Appends begin/end checkpoint records, forces them, updates the master.
@@ -59,6 +66,7 @@ class CheckpointManager {
   BufferPool* const pool_;
   TxnManager* const txns_;
   TimestampOracle* const oracle_;
+  RecoveryMap* const recovery_map_;
   const std::string master_path_;
 };
 

@@ -12,6 +12,7 @@
 #include "engine/page_apply.h"
 #include "env/env.h"
 #include "mvcc/timestamp_oracle.h"
+#include "recovery/recovery_map.h"
 #include "txn/txn_manager.h"
 #include "wal/log_reader.h"
 #include "wal/wal_manager.h"
@@ -19,13 +20,6 @@
 namespace pitree {
 
 namespace {
-
-struct AnalyzedTxn {
-  bool is_system = false;
-  Lsn last_lsn = kInvalidLsn;
-  Lsn undo_next = kInvalidLsn;
-  bool aborting = false;
-};
 
 /// A forward log scan ends cleanly on NotFound (torn or absent tail) or on
 /// the append-buffer bound (InvalidArgument "lsn beyond log end"); any other
@@ -41,6 +35,17 @@ Status CheckScanEnd(const Status& s) {
 Status RecoveryManager::Run(RecoveryStats* stats) {
   RecoveryStats local;
   if (stats == nullptr) stats = &local;
+  PITREE_RETURN_IF_ERROR(RunAnalysis(stats));
+  PITREE_RETURN_IF_ERROR(DrainRedo(stats));
+  return RunUndo(stats);
+}
+
+Status RecoveryManager::RunAnalysis(RecoveryStats* stats) {
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+  losers_.clear();
+  analysis_max_txn_ = 0;
+  analysis_max_commit_ts_ = 0;
 
   // ---- Analysis -----------------------------------------------------------
   Lsn scan_start = 0;
@@ -54,12 +59,19 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
   std::unordered_map<TxnId, AnalyzedTxn> att;
   std::unordered_map<PageId, Lsn> dpt;
   TxnId max_txn = 0;
+  // Per-page redo ranges, split at the scan start: every kUpdate/kClr the
+  // analysis scan sees qualifies for redo (its page's final recLSN is <=
+  // its LSN by construction), and records before the checkpoint are
+  // gathered by a second partial scan below once the DPT is complete.
+  std::unordered_map<PageId, std::vector<Lsn>> post_ckpt;
 
   {
     LogRecord rec;
-    Lsn cursor = scan_start;
+    // Slab-buffered scan: analysis streams the log at sequential bandwidth;
+    // only lazy per-page replay pays random-access record reads.
+    LogReader scanner = ctx_->wal->MakeDurableScanner(scan_start);
     Status scan;
-    while ((scan = ctx_->wal->ReadRecord(cursor, &rec)).ok()) {
+    while ((scan = scanner.ReadNext(&rec)).ok()) {
       ++stats->records_analyzed;
       max_txn = std::max(max_txn, rec.txn_id);
       switch (rec.type) {
@@ -95,6 +107,7 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
           t.last_lsn = rec.lsn;
           t.undo_next = rec.lsn;
           dpt.try_emplace(rec.page_id, rec.lsn);
+          post_ckpt[rec.page_id].push_back(rec.lsn);
           break;
         }
         case LogRecordType::kClr: {
@@ -102,6 +115,7 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
           t.last_lsn = rec.lsn;
           t.undo_next = rec.undo_next;
           dpt.try_emplace(rec.page_id, rec.lsn);
+          post_ckpt[rec.page_id].push_back(rec.lsn);
           break;
         }
         case LogRecordType::kCommit:
@@ -118,12 +132,16 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
         case LogRecordType::kCheckpointBegin:
           break;
       }
-      cursor = rec.next_lsn;
     }
     PITREE_RETURN_IF_ERROR(CheckScanEnd(scan));
   }
 
-  // ---- Redo (repeating history) ------------------------------------------
+  // ---- Redo index ---------------------------------------------------------
+  // Instead of repeating history here, build the per-page redo ranges the
+  // RecoveryMap serves at fetch time. Offline mode drains them immediately
+  // (DrainRedo), which applies exactly the records the old log-order redo
+  // did — each record touches one page and the §5.2 LSN test is per page,
+  // so per-page replay order is byte-equivalent to log order.
   if (!dpt.empty()) {
     Lsn redo_start = kInvalidLsn;
     bool first = true;
@@ -131,37 +149,74 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
       if (first || rec_lsn < redo_start) redo_start = rec_lsn;
       first = false;
     }
-    LogRecord rec;
-    Lsn cursor = redo_start;
-    Status scan;
-    while ((scan = ctx_->wal->ReadRecord(cursor, &rec)).ok()) {
-      if (rec.type == LogRecordType::kUpdate ||
-          rec.type == LogRecordType::kClr) {
-        auto it = dpt.find(rec.page_id);
-        if (it != dpt.end() && rec.lsn >= it->second) {
-          PageHandle page;
-          PITREE_RETURN_IF_ERROR(
-              ctx_->pool->FetchPage(rec.page_id, &page));
-          if (PageGetLsn(page.data()) < rec.lsn) {
-            // First touch of a formerly-blank page: stamp identity so
-            // appliers relying on the header see a coherent page.
-            if (PageGetId(page.data()) != rec.page_id) {
-              PageSetId(page.data(), rec.page_id);
-            }
-            PITREE_RETURN_IF_ERROR(
-                ApplyAnyRedo(rec.op, rec.redo, page.data()));
-            page.MarkDirty(rec.lsn);
-            ++stats->records_redone;
+    // Records in [redo_start, scan_start) predate the checkpoint the scan
+    // started from; a second partial scan gathers the ones the checkpoint
+    // DPT still holds redo obligations for. (redo_start is always a frame
+    // boundary: recLSNs come from WalManager::next_lsn.)
+    std::unordered_map<PageId, std::vector<Lsn>> pre_ckpt;
+    if (redo_start < scan_start) {
+      LogRecord rec;
+      LogReader scanner = ctx_->wal->MakeDurableScanner(redo_start);
+      Status scan;
+      while (scanner.offset() < scan_start &&
+             (scan = scanner.ReadNext(&rec)).ok()) {
+        if (rec.type == LogRecordType::kUpdate ||
+            rec.type == LogRecordType::kClr) {
+          auto it = dpt.find(rec.page_id);
+          if (it != dpt.end() && rec.lsn >= it->second) {
+            pre_ckpt[rec.page_id].push_back(rec.lsn);
           }
         }
       }
-      cursor = rec.next_lsn;
+      PITREE_RETURN_IF_ERROR(CheckScanEnd(scan));
     }
-    PITREE_RETURN_IF_ERROR(CheckScanEnd(scan));
+    std::unordered_map<PageId, RecoveryMap::PendingPage> pending;
+    for (const auto& [page, rec_lsn] : dpt) {
+      RecoveryMap::PendingPage entry;
+      entry.rec_lsn = rec_lsn;
+      auto pre = pre_ckpt.find(page);
+      if (pre != pre_ckpt.end()) entry.records = std::move(pre->second);
+      auto post = post_ckpt.find(page);
+      if (post != post_ckpt.end()) {
+        entry.records.insert(entry.records.end(), post->second.begin(),
+                             post->second.end());
+      }
+      if (!entry.records.empty()) {
+        pending.emplace(page, std::move(entry));
+      }
+    }
+    ctx_->recovery_map->Install(std::move(pending));
   }
+  stats->records_indexed = ctx_->recovery_map->records_indexed();
+
+  losers_.clear();
+  losers_.insert(att.begin(), att.end());
+  analysis_max_txn_ = max_txn;
+  analysis_max_commit_ts_ = stats->max_recovered_commit_ts;
+  return Status::OK();
+}
+
+Status RecoveryManager::DrainRedo(RecoveryStats* stats) {
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
+  RecoveryMap* map = ctx_->recovery_map;
+  PageId floor = 0;
+  PageId pid;
+  while (map->FirstPendingAtLeast(floor, &pid)) {
+    PageHandle page;
+    PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(pid, &page));
+    floor = pid + 1;
+  }
+  stats->records_redone = map->records_replayed();
+  return Status::OK();
+}
+
+Status RecoveryManager::RunUndo(RecoveryStats* stats) {
+  RecoveryStats local;
+  if (stats == nullptr) stats = &local;
 
   // ---- Undo (losers, in global reverse-LSN order) -------------------------
-  ctx_->txns->AdvanceTxnIdFloor(max_txn);
+  ctx_->txns->AdvanceTxnIdFloor(analysis_max_txn_);
   struct Loser {
     Transaction* txn;
     Lsn next;
@@ -169,7 +224,7 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
   auto cmp = [](const Loser& a, const Loser& b) { return a.next < b.next; };
   std::priority_queue<Loser, std::vector<Loser>, decltype(cmp)> todo(cmp);
 
-  for (const auto& [id, t] : att) {
+  for (const auto& [id, t] : losers_) {
     if (t.is_system) {
       ++stats->loser_atomic_actions;
     } else {
@@ -215,17 +270,20 @@ Status RecoveryManager::Run(RecoveryStats* stats) {
     }
   }
 
+  losers_.clear();
+
   // Restart the oracle strictly above every recovered commit timestamp.
   // Version timestamps need no separate maximum: a committed transaction's
   // versions are all stamped before its commit timestamp is drawn from the
   // same clock, and losers' versions were just undone above.
   if (ctx_->oracle != nullptr) {
-    ctx_->oracle->RecoverTo(stats->max_recovered_commit_ts);
+    ctx_->oracle->RecoverTo(analysis_max_commit_ts_);
   }
 
   // Make the recovered state durable enough that a second crash replays a
   // shorter log; not strictly required for correctness.
   PITREE_RETURN_IF_ERROR(ctx_->wal->FlushAll());
+  stats->pages_pending = ctx_->recovery_map->pending_pages();
   return Status::OK();
 }
 

@@ -16,6 +16,8 @@
 
 namespace pitree {
 
+class RecoveryMap;
+
 /// Counters reported by a recovery pass (experiment E3 reads these).
 struct RecoveryStats {
   uint64_t records_analyzed = 0;
@@ -27,6 +29,11 @@ struct RecoveryStats {
   /// plus the checkpoint's oracle high-water); the oracle restarts strictly
   /// above it. 0 when the log predates MVCC.
   uint64_t max_recovered_commit_ts = 0;
+  /// kUpdate/kClr records the analysis pass indexed into the RecoveryMap
+  /// (the whole redo workload, replayed eagerly or lazily).
+  uint64_t records_indexed = 0;
+  /// Pages still awaiting lazy redo when Open returned (always 0 offline).
+  uint64_t pages_pending = 0;
 };
 
 /// ARIES-style recovery: analysis, redo (repeating history), undo with
@@ -54,8 +61,27 @@ class RecoveryManager {
     logical_undo_ = std::move(fn);
   }
 
-  /// Crash recovery. Call once, after Open, before serving operations.
+  /// Offline crash recovery: RunAnalysis + DrainRedo + RunUndo. Call once,
+  /// after Open, before serving operations.
   Status Run(RecoveryStats* stats = nullptr);
+
+  /// Analysis pass: one scan from the checkpoint rebuilding the ATT and
+  /// DPT, plus (when some dirty page's recLSN predates the checkpoint) a
+  /// second partial scan of [min recLSN, checkpoint) — together indexing
+  /// every page's redo range into ctx->recovery_map. Touches no pages.
+  /// Loser state is retained for a following RunUndo.
+  Status RunAnalysis(RecoveryStats* stats);
+
+  /// Eagerly repeats history: fetches every pending page, which replays
+  /// its range through the buffer pool's RecoveryMap hook. Offline mode
+  /// runs this before undo; instant restore skips it and lets demand plus
+  /// the background sweeper drain the map instead.
+  Status DrainRedo(RecoveryStats* stats);
+
+  /// Undo pass over the losers RunAnalysis found (their page fetches
+  /// trigger lazy redo as needed), then restarts the MVCC oracle above the
+  /// recovered commit horizon and forces the log.
+  Status RunUndo(RecoveryStats* stats);
 
   /// Runtime rollback of one transaction/action chain (the TxnManager's
   /// rollback handler). Latches each touched page exclusively.
@@ -78,9 +104,23 @@ class RecoveryManager {
                        const std::map<PageId, PageHandle*>* latched,
                        Lsn* next, RecoveryStats* stats);
 
+  /// Analysis-time view of one in-flight transaction, carried from
+  /// RunAnalysis to RunUndo.
+  struct AnalyzedTxn {
+    bool is_system = false;
+    Lsn last_lsn = kInvalidLsn;
+    Lsn undo_next = kInvalidLsn;
+    bool aborting = false;
+  };
+
   EngineContext* const ctx_;
   const std::string master_path_;
   LogicalUndoFn logical_undo_;
+
+  // RunAnalysis -> RunUndo carry (single-threaded recovery sequencing).
+  std::map<TxnId, AnalyzedTxn> losers_;
+  TxnId analysis_max_txn_ = 0;
+  uint64_t analysis_max_commit_ts_ = 0;
 };
 
 }  // namespace pitree

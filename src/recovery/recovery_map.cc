@@ -1,0 +1,121 @@
+#include "recovery/recovery_map.h"
+
+#include <algorithm>
+
+#include "engine/page_apply.h"
+#include "storage/page.h"
+#include "wal/log_record.h"
+#include "wal/wal_manager.h"
+
+namespace pitree {
+
+void RecoveryMap::Install(std::unordered_map<PageId, PendingPage> pending) {
+  uint64_t records = 0;
+  for (auto it = pending.begin(); it != pending.end();) {
+    if (it->second.records.empty()) {
+      it = pending.erase(it);
+    } else {
+      records += it->second.records.size();
+      ++it;
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_ = std::move(pending);
+  pending_count_.store(pending_.size(), std::memory_order_relaxed);
+  records_indexed_.store(records, std::memory_order_relaxed);
+}
+
+Status RecoveryMap::ReplayOnto(PageId id, char* page, bool* had_entry,
+                               bool* applied, Lsn* rec_lsn) const {
+  *had_entry = false;
+  *applied = false;
+  *rec_lsn = kInvalidLsn;
+  if (pending_count_.load(std::memory_order_relaxed) == 0) {
+    return Status::OK();
+  }
+  PendingPage entry;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return Status::OK();
+    entry = it->second;
+  }
+  *had_entry = true;
+  // WAL reads below run with no mutex held; the records live in the
+  // immutable durable prefix (or the append buffer), and the pool's frame
+  // claim keeps other fetchers of this page parked meanwhile.
+  uint64_t n = 0;
+  for (Lsn lsn : entry.records) {
+    LogRecord rec;
+    PITREE_RETURN_IF_ERROR(wal_->ReadRecord(lsn, &rec));
+    if (rec.page_id != id || (rec.type != LogRecordType::kUpdate &&
+                              rec.type != LogRecordType::kClr)) {
+      return Status::Corruption("recovery map entry does not match log");
+    }
+    // State-identifier test (§5.2): the page LSN says which prefix of its
+    // history the image already reflects. This is what makes replay both
+    // idempotent and safe on images flushed after the recLSN was recorded.
+    if (PageGetLsn(page) >= rec.lsn) continue;
+    // First touch of a formerly-blank page: stamp identity so appliers
+    // relying on the header see a coherent page.
+    if (PageGetId(page) != id) PageSetId(page, id);
+    PITREE_RETURN_IF_ERROR(ApplyAnyRedo(rec.op, rec.redo, page));
+    PageSetLsn(page, rec.lsn);
+    if (n == 0) *rec_lsn = rec.lsn;
+    ++n;
+  }
+  if (n > 0) *applied = true;
+  records_replayed_.fetch_add(n, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void RecoveryMap::MarkReplayed(PageId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pending_.erase(id) > 0) {
+    pending_count_.store(pending_.size(), std::memory_order_relaxed);
+    pages_replayed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RecoveryMap::DiscardPending(PageId id) {
+  if (pending_count_.load(std::memory_order_relaxed) == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  if (pending_.erase(id) > 0) {
+    pending_count_.store(pending_.size(), std::memory_order_relaxed);
+    pages_discarded_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool RecoveryMap::HasPending(PageId id) const {
+  if (pending_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_.count(id) > 0;
+}
+
+bool RecoveryMap::FirstPendingAtLeast(PageId floor, PageId* out) const {
+  if (pending_count_.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lk(mu_);
+  bool found = false;
+  PageId best = kInvalidPageId;
+  for (const auto& [page, entry] : pending_) {
+    (void)entry;
+    if (page >= floor && (!found || page < best)) {
+      best = page;
+      found = true;
+    }
+  }
+  if (found) *out = best;
+  return found;
+}
+
+std::vector<std::pair<PageId, Lsn>> RecoveryMap::PendingDpt() const {
+  std::vector<std::pair<PageId, Lsn>> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.reserve(pending_.size());
+  for (const auto& [page, entry] : pending_) {
+    out.emplace_back(page, entry.rec_lsn);
+  }
+  return out;
+}
+
+}  // namespace pitree

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "analysis/latch_checker.h"
+#include "recovery/recovery_map.h"
 #include "storage/space_map.h"
 
 namespace pitree {
@@ -199,6 +200,10 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
     ++shard.stats.hits;
     if (zeroed) {
       // Caller is re-formatting a re-allocated page that is still resident.
+      // Defensive: a resident page cannot be pending lazy redo (every load
+      // goes through the replay hook below), but a re-format supersedes any
+      // entry regardless.
+      if (recovery_map_ != nullptr) recovery_map_->DiscardPending(id);
       memset(f.data.get(), 0, kPageSize);
     }
     *handle = PageHandle(this, it->second);
@@ -270,15 +275,33 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
                              analysis::kLevelUnknown, id);
 
   Status s;
+  bool replay_had_entry = false;
+  bool replay_applied = false;
+  Lsn replay_rec_lsn = kInvalidLsn;
   if (zeroed) {
+    // A page pending lazy redo can only be fetched zeroed when it was
+    // deallocated and is being re-formatted; the caller's format record
+    // supersedes the dead incarnation's pending history.
+    if (recovery_map_ != nullptr) recovery_map_->DiscardPending(id);
     memset(f.data.get(), 0, kPageSize);
   } else {
     lk.Unlock();
     s = DoRead(id, f.data.get());
+    if (s.ok() && recovery_map_ != nullptr) {
+      // Lazy redo (DESIGN.md §13): repeat this page's history onto the
+      // fresh image while the frame is still claimed. Same discipline as
+      // the read itself — no shard mutex held, page latch untouched; the
+      // io_in_progress claim keeps every other fetcher of this page parked
+      // until the recovered image is published.
+      s = recovery_map_->ReplayOnto(id, f.data.get(), &replay_had_entry,
+                                    &replay_applied, &replay_rec_lsn);
+    }
     lk.Lock();
   }
 
   if (!s.ok()) {
+    // A failed replay leaves the page pending in the map: the next fetch
+    // retries the whole read+replay.
     shard.table.erase(id);
     f.page_id = kInvalidPageId;
     f.io_in_progress = false;
@@ -286,6 +309,16 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
     return s;
   }
 
+  if (replay_applied) {
+    // The replayed image is newer than its disk bytes: dirty the frame
+    // *before* the map entry retires, so a concurrent checkpoint finds the
+    // page in the pool DPT or the RecoveryMap (possibly both — redo starts
+    // at the older recLSN either way), never in neither.
+    ++f.dirty_epoch;
+    f.dirty = true;
+    f.rec_lsn = replay_rec_lsn;
+  }
+  if (replay_had_entry) recovery_map_->MarkReplayed(id);
   f.pin_count = 1;
   f.lru_tick = ++shard.tick;
   f.io_in_progress = false;

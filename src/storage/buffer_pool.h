@@ -19,6 +19,7 @@
 namespace pitree {
 
 class BufferPool;
+class RecoveryMap;
 
 /// A pinned buffer frame. The pin is released on destruction. Latching the
 /// page is the caller's job via latch(); the handle does not latch.
@@ -110,6 +111,15 @@ class BufferPool {
              size_t shard_count = 0);
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Installs the instant-restore redo index (recovery/recovery_map.h).
+  /// Set once at Open, before any concurrent fetch; may stay set forever —
+  /// a drained map costs one relaxed load per miss. While a page is
+  /// pending in the map, its first fetch replays the page's redo records
+  /// onto the freshly read image before the frame is published (the claim
+  /// that serializes same-page fetchers also serializes the replay), so no
+  /// caller can ever observe un-recovered bytes.
+  void set_recovery_map(RecoveryMap* map) { recovery_map_ = map; }
 
   /// Pins page `id`, reading it from disk if not resident.
   Status FetchPage(PageId id, PageHandle* handle);
@@ -213,6 +223,7 @@ class BufferPool {
 
   DiskManager* const disk_;
   const EnsureDurableFn ensure_durable_;
+  RecoveryMap* recovery_map_ = nullptr;
 
   // unique_ptr because Frame contains a Latch and Shard a mutex; neither is
   // movable or copyable.

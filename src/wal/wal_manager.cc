@@ -16,6 +16,11 @@ namespace {
 
 constexpr size_t kFrameHeaderSize = 8;  // crc32 + payload length
 
+/// Slab size for sequential log scans (open-time end search, recovery
+/// analysis). Big enough that scan cost is sequential bandwidth, small
+/// enough to be irrelevant next to the buffer pool.
+constexpr size_t kScanReadAhead = 256 << 10;
+
 }  // namespace
 
 // The §4.1 checker (src/analysis/) tracks append-mutex ownership at rank
@@ -68,7 +73,7 @@ Status WalManager::Open(Env* env, const std::string& path,
   PITREE_RETURN_IF_ERROR(env->OpenFile(path, &file_));
   // Scan for the end of the valid prefix; a torn tail from a crash is
   // ignored and will be overwritten by subsequent appends.
-  LogReader reader(file_.get());
+  LogReader reader(file_.get(), 0, kScanReadAhead);
   LogRecord rec;
   Lsn end = 0;
   Status scan;
@@ -111,48 +116,63 @@ Status WalManager::Append(const LogRecord& rec, Lsn* lsn) {
   return Status::OK();
 }
 
+LogReader WalManager::MakeDurableScanner(Lsn start) const {
+  return LogReader(file_.get(), start, kScanReadAhead);
+}
+
 Status WalManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
+  // Lock-free durable path: bytes below durable_ are immutable — the
+  // leader only writes at offsets >= durable_ and durability never
+  // retreats — and durable_ always lands on a frame boundary, so a reader
+  // that observes lsn < durable_ can decode straight from the file without
+  // the append mutex. Per-page lazy redo (recovery/recovery_map.h) leans
+  // on this: replay reads during instant restore must not convoy commit
+  // appends behind mu_.
+  if (lsn < durable_.load(std::memory_order_acquire)) {
+    LogReader reader(file_.get(), lsn);
+    return reader.ReadNext(rec);
+  }
   MuLock lk(*this);
   const Lsn durable = durable_.load(std::memory_order_relaxed);
-  if (lsn >= durable) {
-    // Buffered path: the bytes live in the flushing or active segment. The
-    // caller-supplied lsn is only trusted after a boundary check — a
-    // mid-frame offset must fail cleanly, not decode garbage.
-    if (lsn >= next_.load(std::memory_order_relaxed)) {
-      return Status::InvalidArgument("lsn beyond log end");
-    }
-    if (!std::binary_search(frame_starts_.begin(), frame_starts_.end(),
-                            lsn)) {
-      return Status::InvalidArgument("lsn is not a record boundary");
-    }
-    const std::string* buf = &flushing_;
-    Lsn base = durable;
-    if (lsn >= durable + flushing_.size()) {
-      buf = &active_;
-      base = durable + flushing_.size();
-    }
-    size_t off = lsn - base;
-    if (off + kFrameHeaderSize > buf->size()) {
-      return Status::Corruption("truncated buffered record");
-    }
-    uint32_t expected_crc = UnmaskCrc(DecodeFixed32(buf->data() + off));
-    uint32_t len = DecodeFixed32(buf->data() + off + 4);
-    if (off + kFrameHeaderSize + len > buf->size()) {
-      return Status::Corruption("truncated buffered record");
-    }
-    const char* payload = buf->data() + off + kFrameHeaderSize;
-    if (Crc32c(payload, len) != expected_crc) {
-      return Status::Corruption("buffered record crc");
-    }
-    PITREE_RETURN_IF_ERROR(rec->DecodeFrom(Slice(payload, len)));
-    rec->lsn = lsn;
-    rec->next_lsn = lsn + kFrameHeaderSize + len;
-    return Status::OK();
+  if (lsn < durable) {
+    // Durability advanced past lsn while acquiring the mutex; read the
+    // now-immutable bytes with the mutex dropped, like the fast path.
+    lk.Unlock();
+    LogReader reader(file_.get(), lsn);
+    return reader.ReadNext(rec);
   }
-  // Durable path: the leader only writes at offsets >= durable_, so this
-  // read never races the in-flight batch's range.
-  LogReader reader(file_.get(), lsn);
-  return reader.ReadNext(rec);
+  // Buffered path: the bytes live in the flushing or active segment. The
+  // caller-supplied lsn is only trusted after a boundary check — a
+  // mid-frame offset must fail cleanly, not decode garbage.
+  if (lsn >= next_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("lsn beyond log end");
+  }
+  if (!std::binary_search(frame_starts_.begin(), frame_starts_.end(), lsn)) {
+    return Status::InvalidArgument("lsn is not a record boundary");
+  }
+  const std::string* buf = &flushing_;
+  Lsn base = durable;
+  if (lsn >= durable + flushing_.size()) {
+    buf = &active_;
+    base = durable + flushing_.size();
+  }
+  size_t off = lsn - base;
+  if (off + kFrameHeaderSize > buf->size()) {
+    return Status::Corruption("truncated buffered record");
+  }
+  uint32_t expected_crc = UnmaskCrc(DecodeFixed32(buf->data() + off));
+  uint32_t len = DecodeFixed32(buf->data() + off + 4);
+  if (off + kFrameHeaderSize + len > buf->size()) {
+    return Status::Corruption("truncated buffered record");
+  }
+  const char* payload = buf->data() + off + kFrameHeaderSize;
+  if (Crc32c(payload, len) != expected_crc) {
+    return Status::Corruption("buffered record crc");
+  }
+  PITREE_RETURN_IF_ERROR(rec->DecodeFrom(Slice(payload, len)));
+  rec->lsn = lsn;
+  rec->next_lsn = lsn + kFrameHeaderSize + len;
+  return Status::OK();
 }
 
 Status WalManager::Flush(Lsn lsn) {

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "env/env.h"
+#include "wal/log_reader.h"
 #include "wal/log_record.h"
 
 namespace pitree {
@@ -86,9 +87,28 @@ class WalManager {
 
   /// Random-access read of the record at `lsn`, whether it has been flushed
   /// to the file or still sits in a segment. Undo walks chains through this
-  /// (rollback may need records that were never forced). A buffered `lsn`
-  /// that is not a frame boundary returns InvalidArgument, never garbage.
+  /// (rollback may need records that were never forced), and instant
+  /// restore replays each page's redo range through it. Reads below the
+  /// durable horizon never touch the append mutex — the durable prefix is
+  /// immutable — so per-page replay cannot convoy commit traffic. A
+  /// buffered `lsn` that is not a frame boundary returns InvalidArgument,
+  /// never garbage.
   Status ReadRecord(Lsn lsn, LogRecord* rec) const;
+
+  /// Buffered sequential reader over the immutable durable prefix, starting
+  /// at `start` (a frame boundary < durable_lsn()). The reader pulls the
+  /// file in large slabs, so a full-log scan costs sequential bandwidth
+  /// instead of two small reads per record — this is the asymmetry instant
+  /// restore banks on: open-time analysis streams the whole log cheaply,
+  /// while lazy per-page replay pays random-access ReadRecord() only for
+  /// the pages actually touched. Bypasses the append mutex for the same
+  /// reason as ReadRecord's fast path (bytes below durable_ never change).
+  /// The slab may prefetch past the durable horizon, but frames starting
+  /// below it never extend past it (durability lands on frame boundaries),
+  /// so no volatile byte is ever parsed while the caller stays below
+  /// durable_lsn() — recovery-time scans additionally run before any new
+  /// appends, where the file simply ends at the horizon.
+  LogReader MakeDurableScanner(Lsn start) const;
 
   /// First LSN that has NOT been made durable. Lock-free.
   Lsn durable_lsn() const {

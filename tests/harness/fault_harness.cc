@@ -273,66 +273,65 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
   if (!env->FileExists(wal_file)) return 0;
   std::unique_ptr<File> f;
   if (!env->OpenFile(wal_file, &f).ok()) return 0;
-  LogReader reader(f.get());
+  LogReader reader(f.get(), 0, /*read_ahead=*/64 << 10);
   LogRecord rec;
   Lsn end = 0;
   while (reader.ReadNext(&rec).ok()) end = reader.offset();
   return end;
 }
 
-::testing::AssertionResult CheckPostRecoveryOracle(SimEnv* env,
-                                                   const WorkloadTrace& trace,
-                                                   const ExplorerConfig& cfg,
-                                                   const std::string& label) {
-  auto fail = [&label]() {
-    return ::testing::AssertionFailure() << label << ": ";
-  };
+namespace {
 
-  const Lsn prefix_end = ValidWalPrefix(env, kWalFile);
-
-  // MVCC commit-timestamp audit over the valid WAL prefix: commit
-  // timestamps are allocated under the commit-order mutex with the commit
-  // record's append, so in LSN order they must be strictly monotone; the
-  // maximum (including the checkpoint's oracle high-water, which covers
-  // records truncated from the analysis scan's view) is the floor the
-  // restarted oracle must clear.
-  uint64_t max_commit_ts = 0;
-  if (env->FileExists(kWalFile)) {
-    std::unique_ptr<File> f;
-    if (!env->OpenFile(kWalFile, &f).ok()) {
-      return fail() << "cannot reopen wal for commit-ts audit";
-    }
-    LogReader reader(f.get());
-    LogRecord rec;
-    uint64_t prev = 0;
-    while (reader.ReadNext(&rec).ok() && reader.offset() <= prefix_end) {
-      if (rec.type == LogRecordType::kCommit && rec.commit_ts != 0) {
-        if (rec.commit_ts <= prev) {
-          return fail() << "commit timestamps not strictly monotone: "
-                        << rec.commit_ts << " after " << prev << " at lsn "
-                        << rec.lsn;
-        }
-        prev = rec.commit_ts;
-        max_commit_ts = std::max(max_commit_ts, rec.commit_ts);
-      } else if (rec.type == LogRecordType::kCheckpointEnd) {
-        CheckpointData data;
-        if (DecodeCheckpoint(rec.misc, &data).ok()) {
-          max_commit_ts = std::max(max_commit_ts, data.oracle_ts);
-        }
+// MVCC commit-timestamp audit over the valid WAL prefix, shared by both
+// oracles: commit timestamps are allocated under the commit-order mutex
+// with the commit record's append, so in LSN order they must be strictly
+// monotone; the maximum (including the checkpoint's oracle high-water,
+// which covers records truncated from the analysis scan's view) is the
+// floor the restarted oracle must clear.
+::testing::AssertionResult AuditWalCommitTs(SimEnv* env, Lsn prefix_end,
+                                            uint64_t* max_commit_ts,
+                                            const std::string& label) {
+  *max_commit_ts = 0;
+  if (!env->FileExists(kWalFile)) return ::testing::AssertionSuccess();
+  std::unique_ptr<File> f;
+  if (!env->OpenFile(kWalFile, &f).ok()) {
+    return ::testing::AssertionFailure()
+           << label << ": cannot reopen wal for commit-ts audit";
+  }
+  LogReader reader(f.get(), 0, /*read_ahead=*/64 << 10);
+  LogRecord rec;
+  uint64_t prev = 0;
+  while (reader.ReadNext(&rec).ok() && reader.offset() <= prefix_end) {
+    if (rec.type == LogRecordType::kCommit && rec.commit_ts != 0) {
+      if (rec.commit_ts <= prev) {
+        return ::testing::AssertionFailure()
+               << label << ": commit timestamps not strictly monotone: "
+               << rec.commit_ts << " after " << prev << " at lsn " << rec.lsn;
+      }
+      prev = rec.commit_ts;
+      *max_commit_ts = std::max(*max_commit_ts, rec.commit_ts);
+    } else if (rec.type == LogRecordType::kCheckpointEnd) {
+      CheckpointData data;
+      if (DecodeCheckpoint(rec.misc, &data).ok()) {
+        *max_commit_ts = std::max(*max_commit_ts, data.oracle_ts);
       }
     }
   }
+  return ::testing::AssertionSuccess();
+}
 
-  // Recover with inline completion: the oracle's own checks then see a
-  // stable tree without racing background workers. (Crash states produced
-  // under workers must recover under any completion regime — §5.1 hints
-  // carry no durability obligations.)
-  Options opts = WorkloadOptions(cfg);
-  opts.maintenance_workers = 0;
-  opts.inline_completion = true;
-  std::unique_ptr<Database> db;
-  Status s = Database::Open(opts, env, kDbName, &db);
-  if (!s.ok()) return fail() << "recovery failed: " << s.ToString();
+// Everything the oracle asserts about an opened database once recovery has
+// fully repeated history; shared by the offline check and (after the
+// traffic phase and the drain) the online one.
+::testing::AssertionResult VerifyRecoveredDb(Database* db,
+                                             const WorkloadTrace& trace,
+                                             Lsn prefix_end,
+                                             uint64_t max_commit_ts,
+                                             const std::string& label) {
+  auto fail = [&label]() {
+    return ::testing::AssertionFailure() << label << ": ";
+  };
+  Status s;
 
   // The restarted oracle must never re-issue a durable commit timestamp.
   if (db->oracle()->last_issued() < max_commit_ts) {
@@ -419,6 +418,166 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
 
   (void)checked;
   return ::testing::AssertionSuccess();
+}
+
+}  // namespace
+
+::testing::AssertionResult CheckPostRecoveryOracle(SimEnv* env,
+                                                   const WorkloadTrace& trace,
+                                                   const ExplorerConfig& cfg,
+                                                   const std::string& label) {
+  const Lsn prefix_end = ValidWalPrefix(env, kWalFile);
+  uint64_t max_commit_ts = 0;
+  ::testing::AssertionResult audit =
+      AuditWalCommitTs(env, prefix_end, &max_commit_ts, label);
+  if (!audit) return audit;
+
+  // Recover with inline completion: the oracle's own checks then see a
+  // stable tree without racing background workers. (Crash states produced
+  // under workers must recover under any completion regime — §5.1 hints
+  // carry no durability obligations.)
+  Options opts = WorkloadOptions(cfg);
+  opts.maintenance_workers = 0;
+  opts.inline_completion = true;
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(opts, env, kDbName, &db);
+  if (!s.ok()) {
+    return ::testing::AssertionFailure()
+           << label << ": recovery failed: " << s.ToString();
+  }
+  return VerifyRecoveredDb(db.get(), trace, prefix_end, max_commit_ts, label);
+}
+
+::testing::AssertionResult CheckOnlineRecoveryOracle(
+    SimEnv* env, const WorkloadTrace& trace, const ExplorerConfig& cfg,
+    const std::string& label) {
+  auto fail = [&label]() {
+    return ::testing::AssertionFailure() << label << ": ";
+  };
+  const Lsn prefix_end = ValidWalPrefix(env, kWalFile);
+  uint64_t max_commit_ts = 0;
+  ::testing::AssertionResult audit =
+      AuditWalCommitTs(env, prefix_end, &max_commit_ts, label);
+  if (!audit) return audit;
+
+  Options opts = WorkloadOptions(cfg);
+  opts.maintenance_workers = 0;
+  opts.inline_completion = true;
+  opts.instant_restore = true;
+  opts.recovery_sweeper = true;
+  // Pace the sweeper so the map stays populated while the traffic below
+  // races lazy redo; an instant drain would reduce this to the offline
+  // check with extra steps.
+  opts.recovery_sweep_delay_us = 20;
+  std::unique_ptr<Database> db;
+  Status s = Database::Open(opts, env, kDbName, &db);
+  if (!s.ok()) {
+    return fail() << "instant-restore open failed: " << s.ToString();
+  }
+
+  // Traffic during recovery. Readers sample every decidable key:
+  // provably-durable commits must already read correctly mid-drain —
+  // the pool replays a page before publishing its frame, so there is no
+  // window where stale bytes are visible. A writer commits fresh keys
+  // concurrently; redo of old history must not block new history.
+  constexpr int kOnlineKeys = 24;
+  PiTree* tree = nullptr;
+  const bool have_index = db->GetIndex(kIndexName, &tree).ok();
+  if (have_index) {
+    std::atomic<int> traffic_errors{0};
+    std::mutex err_mu;
+    std::string first_error;
+    auto note = [&](const std::string& msg) {
+      traffic_errors.fetch_add(1);
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (first_error.empty()) first_error = msg;
+    };
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&, t] {
+        size_t i = 0;
+        for (const auto& [key, ops] : trace.committed_ops) {
+          if (static_cast<int>(i++ % 2) != t) continue;
+          Expect e = ClassifyKey(ops, prefix_end);
+          if (e == Expect::kUnknown) continue;
+          Transaction* txn = db->Begin();
+          std::string v;
+          Status g = tree->Get(txn, key, &v);
+          (void)db->Commit(txn);
+          if (e == Expect::kPresent && !g.ok()) {
+            note("mid-recovery read lost durable key " + key + ": " +
+                 g.ToString());
+          } else if (e == Expect::kAbsent && !g.IsNotFound()) {
+            note("mid-recovery read saw key that must be absent " + key +
+                 ": " + g.ToString());
+          }
+        }
+      });
+    }
+    threads.emplace_back([&] {
+      const std::string value(110, 'o');
+      for (int i = 0; i < kOnlineKeys; ++i) {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "online%05d", i);
+        bool done = false;
+        for (int attempt = 0; attempt < 100 && !done; ++attempt) {
+          Transaction* txn = db->Begin();
+          Status is = tree->Insert(txn, buf, value);
+          if (is.ok()) {
+            Status cs = db->Commit(txn);
+            if (!cs.ok()) {
+              note(std::string("online commit ") + buf + ": " + cs.ToString());
+              return;
+            }
+            done = true;
+            break;
+          }
+          (void)db->Abort(txn);
+          if (!is.IsBusy() && !is.IsDeadlock()) {
+            note(std::string("online insert ") + buf + ": " + is.ToString());
+            return;
+          }
+        }
+        if (!done) {
+          note(std::string("online insert ") + buf + ": retries exhausted");
+          return;
+        }
+      }
+    });
+    for (auto& th : threads) th.join();
+    if (traffic_errors.load() != 0) {
+      return fail() << traffic_errors.load()
+                    << " online ops failed; first: " << first_error;
+    }
+  }
+
+  s = db->WaitUntilRecovered();
+  if (!s.ok()) return fail() << "WaitUntilRecovered: " << s.ToString();
+  if (db->recovery_pending_pages() != 0) {
+    return fail() << "recovery map not drained: "
+                  << db->recovery_pending_pages() << " pages pending";
+  }
+
+  if (have_index) {
+    // Commits made during recovery survived the drain.
+    Transaction* txn = db->Begin();
+    for (int i = 0; i < kOnlineKeys; ++i) {
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "online%05d", i);
+      std::string v;
+      Status g = tree->Get(txn, buf, &v);
+      if (!g.ok()) {
+        (void)db->Abort(txn);
+        return fail() << "key committed during recovery lost: " << buf << " ("
+                      << g.ToString() << ")";
+      }
+    }
+    s = db->Commit(txn);
+    if (!s.ok()) return fail() << "online-key check commit: " << s.ToString();
+  }
+
+  // With history fully repeated, the full offline oracle must hold.
+  return VerifyRecoveredDb(db.get(), trace, prefix_end, max_commit_ts, label);
 }
 
 }  // namespace harness

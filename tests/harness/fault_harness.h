@@ -98,6 +98,18 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file);
                                                    const ExplorerConfig& cfg,
                                                    const std::string& label);
 
+/// Online-recovery variant of the oracle (DESIGN.md §13): opens the image
+/// with Options::instant_restore, then serves traffic while lazy redo is
+/// still draining — reader threads sample classified keys (provably-durable
+/// commits must already read correctly on first touch; the fetch path
+/// replays each page before publishing it) and a writer commits fresh keys
+/// racing the background sweeper. After WaitUntilRecovered() drains the
+/// map, every offline check above is re-run: instant restore must land on
+/// the same recovered state, it just serves during the trip.
+::testing::AssertionResult CheckOnlineRecoveryOracle(
+    SimEnv* env, const WorkloadTrace& trace, const ExplorerConfig& cfg,
+    const std::string& label);
+
 }  // namespace harness
 }  // namespace pitree
 

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 #include <memory>
 #include <set>
@@ -458,6 +459,131 @@ TEST_F(RecoveryTest, AtomicActionLoserCountsAreReported) {
   EXPECT_EQ(stats.loser_user_txns, 0u);
   EXPECT_EQ(stats.loser_atomic_actions, 0u);
   EXPECT_GT(stats.records_redone, 100u);
+}
+
+// Instant restore leans entirely on the LSN state identifier (§5.2): a
+// page's redo range may be replayed at any time, in any interleaving with
+// other pages, and even more than once, and must always produce the same
+// bytes. This test pins that property directly: from one crash image,
+// (a) replaying a page's range twice is byte-identical to replaying it
+// once, and (b) the lazily-replayed page equals the page offline recovery
+// produces — per-page redo IS log-order redo, page by page.
+TEST_F(RecoveryTest, LazyRedoIsIdempotentAndMatchesOffline) {
+  // Scripted workload: enough volume for splits, plus a loser so undo work
+  // coexists with pending redo. Crash with nothing flushed, so every
+  // touched page has its whole history pending.
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(DefaultOptions(), &env_, "db", &db).ok());
+    PiTree* tree;
+    ASSERT_TRUE(db->CreateIndex("t", &tree).ok());
+    std::string value(120, 'v');
+    for (int i = 0; i < 200; ++i) {
+      Transaction* txn = db->Begin();
+      ASSERT_TRUE(tree->Insert(txn, Key(i), value).ok());
+      ASSERT_TRUE(db->Commit(txn).ok());
+    }
+    Transaction* loser = db->Begin();
+    ASSERT_TRUE(tree->Insert(loser, "loser-key", value).ok());
+    ASSERT_TRUE(db->context()->wal->FlushAll().ok());
+    env_.Crash();
+    db.release();
+  }
+
+  // Clone the crash image so the offline and instant recoveries each work
+  // on their own copy of the exact same durable state.
+  SimEnv env2;
+  for (const char* f : {"db.db", "db.wal", "db.master"}) {
+    if (!env_.FileExists(f)) continue;
+    std::string bytes;
+    ASSERT_TRUE(env_.ReadFileToString(f, &bytes).ok());
+    ASSERT_TRUE(env2.WriteFileAtomic(f, bytes).ok());
+  }
+
+  // Reference: offline recovery repeats all history during Open.
+  std::unique_ptr<Database> offline;
+  ASSERT_TRUE(Database::Open(DefaultOptions(), &env_, "db", &offline).ok());
+
+  // Instant restore with the sweeper off: the map drains only when this
+  // test says so, keeping the pending set inspectable.
+  Options iopts = DefaultOptions();
+  iopts.instant_restore = true;
+  iopts.recovery_sweeper = false;
+  RecoveryStats stats;
+  std::unique_ptr<Database> instant;
+  ASSERT_TRUE(Database::Open(iopts, &env2, "db", &instant, &stats).ok());
+  RecoveryMap* map = instant->recovery_map();
+  // Undo fetched (and so replayed) the loser's pages, but the bulk of the
+  // workload's pages must still be pending — Open did not repeat history.
+  ASSERT_GE(map->pending_pages(), 5u) << "workload left too little pending";
+  EXPECT_GT(stats.pages_pending, 0u);
+  EXPECT_GT(stats.records_indexed, 0u);
+
+  std::unique_ptr<File> raw;
+  ASSERT_TRUE(env2.OpenFile("db.db", &raw).ok());
+  size_t compared = 0;
+  for (const auto& [page, rec_lsn] : map->PendingDpt()) {
+    // The durable image as the crash left it (never-written tail = zeros,
+    // exactly what DiskManager presents to the pool).
+    std::vector<char> once(kPageSize, 0);
+    Slice got;
+    ASSERT_TRUE(raw->Read(static_cast<uint64_t>(page) * kPageSize, kPageSize,
+                          &got, once.data())
+                    .ok());
+    if (got.size() > 0 && got.data() != once.data()) {
+      memcpy(once.data(), got.data(), got.size());
+    }
+
+    bool had_entry = false, applied = false;
+    Lsn first_lsn = kInvalidLsn;
+    ASSERT_TRUE(
+        map->ReplayOnto(page, once.data(), &had_entry, &applied, &first_lsn)
+            .ok());
+    ASSERT_TRUE(had_entry);
+    ASSERT_TRUE(applied) << "pending page " << page << " had nothing to redo";
+
+    // (a) Idempotence: a second full replay of the same range must be a
+    // no-op — every record now fails the LSN test.
+    std::vector<char> twice = once;
+    ASSERT_TRUE(
+        map->ReplayOnto(page, twice.data(), &had_entry, &applied, &first_lsn)
+            .ok());
+    EXPECT_FALSE(applied) << "second replay re-applied records on " << page;
+    ASSERT_EQ(memcmp(once.data(), twice.data(), kPageSize), 0)
+        << "double replay diverged on page " << page;
+
+    // (b) Offline equivalence: byte-identical to the page the offline pass
+    // produced.
+    PageHandle h;
+    ASSERT_TRUE(offline->context()->pool->FetchPage(page, &h).ok());
+    ASSERT_EQ(memcmp(once.data(), h.data(), kPageSize), 0)
+        << "lazy redo diverged from offline redo on page " << page;
+    ++compared;
+  }
+  EXPECT_GE(compared, 5u);
+
+  // Drain and cross-check the recovered trees agree key by key.
+  ASSERT_TRUE(instant->WaitUntilRecovered().ok());
+  EXPECT_EQ(instant->recovery_pending_pages(), 0u);
+  PiTree *t1, *t2;
+  ASSERT_TRUE(offline->GetIndex("t", &t1).ok());
+  ASSERT_TRUE(instant->GetIndex("t", &t2).ok());
+  for (int i = 0; i < 200; ++i) {
+    Transaction* x1 = offline->Begin();
+    Transaction* x2 = instant->Begin();
+    std::string v1, v2;
+    ASSERT_TRUE(t1->Get(x1, Key(i), &v1).ok());
+    ASSERT_TRUE(t2->Get(x2, Key(i), &v2).ok()) << Key(i);
+    EXPECT_EQ(v1, v2);
+    (void)offline->Commit(x1);
+    (void)instant->Commit(x2);
+  }
+  Transaction* x2 = instant->Begin();
+  std::string v;
+  EXPECT_TRUE(t2->Get(x2, "loser-key", &v).IsNotFound());
+  (void)instant->Commit(x2);
+  std::string report;
+  EXPECT_TRUE(t2->CheckWellFormed(&report).ok()) << report;
 }
 
 }  // namespace

@@ -273,9 +273,11 @@ TEST_F(WalTest, ReadErrorDuringOpenSurfacesAndPreservesLog) {
 
   FaultPlan plan;
   env_.InstallFaultPlan(&plan);
-  // The second record's header read fails (each ReadNext issues a header
-  // read then a payload read).
-  plan.FailNth(FaultOp::kRead, plan.op_count(FaultOp::kRead) + 2,
+  // The open scan reads the log in slabs: one slab covers this whole log
+  // (read +0), then the end-of-log probe past it is read +1. Failing the
+  // probe exercises a fault after valid records have already been parsed —
+  // it must surface, not be mistaken for a clean end of log.
+  plan.FailNth(FaultOp::kRead, plan.op_count(FaultOp::kRead) + 1,
                Status::IOError("injected: unreadable sector"));
 
   WalManager wal2;
