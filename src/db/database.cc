@@ -342,7 +342,7 @@ void Database::RecoverySweepLoop() {
   const auto delay =
       std::chrono::microseconds(ctx_.options.recovery_sweep_delay_us);
   PageId floor = 0;
-  int busy_streak = 0;
+  int error_streak = 0;
   while (!sweeper_stop_.load(std::memory_order_relaxed)) {
     PageId pid;
     if (!recovery_map_->FirstPendingAtLeast(floor, &pid)) {
@@ -355,19 +355,22 @@ void Database::RecoverySweepLoop() {
     h.Reset();
     if (s.IsBusy()) {
       // Shard full of pins right now; let foreground traffic drain it.
-      // Cap the streak so a permanently-starved sweeper still exits on
-      // stop instead of hammering the shard.
-      if (++busy_streak > 1000) busy_streak = 1000;
       std::this_thread::sleep_for(std::chrono::microseconds(100));
       continue;
     }
-    busy_streak = 0;
     if (!s.ok()) {
       // I/O or replay fault: leave the entry for a demand fetch (which
-      // will surface the error to a caller who can act on it) and move on.
+      // will surface the error to a caller who can act on it) and move on —
+      // with backoff, so a page that fails persistently doesn't turn the
+      // wrap-around retry into a tight CPU loop. If every remaining page
+      // keeps failing, park the sweeper entirely; demand fetches own the
+      // residue from then on.
+      if (++error_streak > 1000) return;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
       floor = pid + 1;
       continue;
     }
+    error_streak = 0;
     floor = pid + 1;
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
   }

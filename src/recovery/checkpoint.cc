@@ -75,16 +75,23 @@ Status CheckpointManager::TakeCheckpoint() {
 
   CheckpointData data;
   data.att = txns_->SnapshotAtt();
+  // Pages still awaiting lazy redo are dirty-in-spirit: their durable
+  // images predate their recLSNs, and nothing will flush them until a
+  // fetch replays them. Fold them in so a crash after this checkpoint
+  // re-derives their redo work. Sampling order matters: the map MUST be
+  // read before the pool DPT. The fetch path marks the frame dirty before
+  // retiring the map entry, so map-first sampling sees either the still-
+  // pending entry or (entry already retired) the dirty frame in the later
+  // pool snapshot — double-report at worst, never a gap. Pool-first would
+  // open a window where the fetch dirties and retires between the two
+  // reads and the page vanishes from both.
+  std::vector<std::pair<PageId, Lsn>> map_dpt;
+  if (recovery_map_ != nullptr) map_dpt = recovery_map_->PendingDpt();
   data.dpt = pool_->DirtyPageTable();
-  if (recovery_map_ != nullptr) {
-    // Pages still awaiting lazy redo are dirty-in-spirit: their durable
-    // images predate their recLSNs, and nothing will flush them until a
-    // fetch replays them. Fold them in so a crash after this checkpoint
-    // re-derives their redo work. The pool snapshot and the map snapshot
-    // may both carry a page (the fetch path marks the frame dirty before
-    // retiring the map entry — double-report, never a gap); keep the
-    // smaller recLSN so redo starts early enough for both histories.
-    for (const auto& [page, rec_lsn] : recovery_map_->PendingDpt()) {
+  {
+    // Both snapshots may carry a page; keep the smaller recLSN so redo
+    // starts early enough for both histories.
+    for (const auto& [page, rec_lsn] : map_dpt) {
       auto it = std::find_if(
           data.dpt.begin(), data.dpt.end(),
           [page = page](const auto& e) { return e.first == page; });

@@ -86,7 +86,12 @@ Status RecoveryManager::RunAnalysis(RecoveryStats* stats) {
             max_txn = std::max(max_txn, e.txn_id);
           }
           for (const auto& [page, rec_lsn] : data.dpt) {
-            dpt.try_emplace(page, rec_lsn);
+            // Keep the minimum: an update logged between kCheckpointBegin
+            // and this record is scanned first and seeds the page with its
+            // (higher) LSN; the checkpoint's recLSN reaches further back
+            // and governs where the pre-checkpoint scan must start.
+            auto [it, inserted] = dpt.try_emplace(page, rec_lsn);
+            if (!inserted && rec_lsn < it->second) it->second = rec_lsn;
           }
           // The checkpoint's oracle high-water covers commit records older
           // than the analysis scan's start.

@@ -11,15 +11,19 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <map>
+#include <thread>
 #include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/coding.h"
 #include "db/database.h"
 #include "env/sim_env.h"
+#include "recovery/checkpoint.h"
 #include "wal/log_reader.h"
 
 namespace pitree {
@@ -584,6 +588,135 @@ TEST_F(RecoveryTest, LazyRedoIsIdempotentAndMatchesOffline) {
   (void)instant->Commit(x2);
   std::string report;
   EXPECT_TRUE(t2->CheckWellFormed(&report).ok()) << report;
+}
+
+// A fuzzy checkpoint races writers: an update to an already-dirty page can
+// be logged between kCheckpointBegin and kCheckpointEnd, so the analysis
+// scan sees the update (and seeds the DPT with its higher LSN) before it
+// reaches the checkpoint's DPT carrying the page's older recLSN. Analysis
+// must keep the minimum — first-seen-wins would drop every redo record in
+// [checkpoint recLSN, in-window update LSN), losing committed data when the
+// durable image predates them. TakeCheckpoint() is one call, so the race
+// cannot be scheduled deterministically; the test forges the exact log
+// shape through the same encoder the real checkpoint path uses.
+TEST_F(RecoveryTest, CheckpointRecLsnSurvivesInWindowUpdate) {
+  Options opts = DefaultOptions();
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(opts, &env_, "db", &db).ok());
+    PiTree* tree;
+    ASSERT_TRUE(db->CreateIndex("t", &tree).ok());
+    std::string value(100, 'w');
+    for (int i = 0; i < 60; ++i) {
+      Transaction* txn = db->Begin();
+      ASSERT_TRUE(tree->Insert(txn, Key(i), value).ok());
+      ASSERT_TRUE(db->Commit(txn).ok());
+    }
+    WalManager* wal = db->context()->wal;
+    // DPT snapshot BEFORE the window: the tail leaf is dirty with a recLSN
+    // far behind the log head. (No page has been flushed — 64-frame pool —
+    // so redo must reproduce everything from the WAL alone.)
+    CheckpointData data;
+    data.dpt = db->context()->pool->DirtyPageTable();
+    ASSERT_FALSE(data.dpt.empty());
+    // The last commit in the log is inside the analysis scan, so its commit
+    // timestamp (the clock's maximum) restarts the oracle; the forged
+    // checkpoint can leave oracle_ts at 0.
+    LogRecord begin;
+    begin.type = LogRecordType::kCheckpointBegin;
+    Lsn begin_lsn;
+    ASSERT_TRUE(wal->Append(begin, &begin_lsn).ok());
+    {
+      // In-window committed update: lands on the tail leaf, which the
+      // snapshot above already carries with its older recLSN.
+      Transaction* txn = db->Begin();
+      ASSERT_TRUE(tree->Insert(txn, Key(60), value).ok());
+      ASSERT_TRUE(db->Commit(txn).ok());
+    }
+    LogRecord end;
+    end.type = LogRecordType::kCheckpointEnd;
+    end.misc = EncodeCheckpoint(data);
+    Lsn end_lsn;
+    ASSERT_TRUE(wal->Append(end, &end_lsn).ok());
+    ASSERT_TRUE(wal->FlushAll().ok());
+    std::string master;
+    PutFixed64(&master, begin_lsn);
+    ASSERT_TRUE(env_.WriteFileAtomic("db.master", master).ok());
+    env_.Crash();
+    db.release();
+  }
+  RecoveryStats stats;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(opts, &env_, "db", &db, &stats).ok());
+  // Analysis honored the forged checkpoint (scanned only the short window),
+  // yet the pre-checkpoint records still reached the redo index through the
+  // checkpoint DPT's older recLSNs.
+  EXPECT_LT(stats.records_analyzed, 20u);
+  PiTree* tree;
+  ASSERT_TRUE(db->GetIndex("t", &tree).ok());
+  std::string report;
+  ASSERT_TRUE(tree->CheckWellFormed(&report).ok()) << report;
+  Transaction* txn = db->Begin();
+  std::string v;
+  for (int i = 0; i <= 60; ++i) {
+    ASSERT_TRUE(tree->Get(txn, Key(i), &v).ok()) << Key(i);
+  }
+  (void)db->Commit(txn);
+}
+
+// A page whose lazy-redo fetch fails persistently (dead disk) must not turn
+// the background sweeper into a tight retry loop: it backs off on each
+// error, parks after a bounded streak, and leaves the residue to demand
+// fetches — which recover normally once the device returns.
+TEST_F(RecoveryTest, SweeperBacksOffOnPersistentReadFaults) {
+  FaultPlan plan;
+  env_.InstallFaultPlan(&plan);
+  Options opts = DefaultOptions();
+  opts.buffer_pool_pages = 16;  // evictions: stale durable images need redo
+  {
+    std::unique_ptr<Database> db;
+    ASSERT_TRUE(Database::Open(opts, &env_, "db", &db).ok());
+    PiTree* tree;
+    ASSERT_TRUE(db->CreateIndex("t", &tree).ok());
+    std::string value(150, 'x');
+    for (int i = 0; i < 400; ++i) {
+      Transaction* txn = db->Begin();
+      ASSERT_TRUE(tree->Insert(txn, Key(i), value).ok());
+      ASSERT_TRUE(db->Commit(txn).ok());
+    }
+    env_.Crash();
+    db.release();
+  }
+  Options iopts = opts;
+  iopts.instant_restore = true;
+  iopts.recovery_sweeper = true;
+  // Pace the sweeper so the map is still populated when the fault arms.
+  iopts.recovery_sweep_delay_us = 20000;
+  std::unique_ptr<Database> db;
+  ASSERT_TRUE(Database::Open(iopts, &env_, "db", &db).ok());
+  ASSERT_GT(db->recovery_pending_pages(), 1u);
+  // Page-file reads fail sticky from here on; the WAL is untouched.
+  plan.FailNth(FaultOp::kRead, plan.op_count(FaultOp::kRead),
+               Status::IOError("injected: page read failed"),
+               /*sticky=*/true, "db.db");
+  // Long enough for the sweeper to wrap the pending list many times and hit
+  // its 1000-error park bound (1000 × 100us backoff ≈ 100ms); a spinning
+  // sweeper would burn this interval at 100% CPU, a correct one sleeps.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_GT(db->recovery_pending_pages(), 0u);
+  plan.ClearErrorRules();
+  ASSERT_TRUE(db->WaitUntilRecovered().ok());
+  EXPECT_EQ(db->recovery_pending_pages(), 0u);
+  PiTree* tree;
+  ASSERT_TRUE(db->GetIndex("t", &tree).ok());
+  std::string report;
+  ASSERT_TRUE(tree->CheckWellFormed(&report).ok()) << report;
+  Transaction* txn = db->Begin();
+  std::string v;
+  for (int i = 0; i < 400; i += 37) {
+    ASSERT_TRUE(tree->Get(txn, Key(i), &v).ok()) << Key(i);
+  }
+  (void)db->Commit(txn);
 }
 
 }  // namespace
