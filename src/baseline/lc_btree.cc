@@ -243,12 +243,10 @@ Status LcBTree::SplitPath(std::vector<PageHandle>* path, const Slice& key) {
 
   if (!s.ok()) {
     // Roll back the whole action with our latched pages.
-    Lsn lsn;
     if (action->last_lsn != kInvalidLsn) {
-      ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn).ok();
-      action->last_lsn = lsn;
+      LogActionAbort(ctx_, action);
       (void)ctx_->recovery->RollbackTxnWithPages(action, pages);
-      ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
+      LogActionEnd(ctx_, action);
     }
     ctx_->locks->ReleaseAll(action);
     ctx_->txns->Discard(action);

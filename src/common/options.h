@@ -2,6 +2,7 @@
 #define PITREE_COMMON_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace pitree {
 
@@ -121,6 +122,23 @@ struct Options {
   /// this to keep the map populated while foreground traffic races lazy
   /// redo; 0 drains as fast as the disk allows.
   size_t recovery_sweep_delay_us = 0;
+
+  /// Continuous checkpointing (DESIGN.md §14). The background checkpointer
+  /// thread takes a fuzzy checkpoint whenever new log exists and either
+  /// `checkpoint_interval_ms` has elapsed since the last checkpoint or
+  /// `checkpoint_log_bytes` of log have accumulated since the last master
+  /// record; each successful checkpoint then truncates WAL segments wholly
+  /// below the recovery floor. Both 0 (the default) = no background
+  /// checkpointer; explicit Database::Checkpoint() still works either way.
+  uint64_t checkpoint_interval_ms = 0;
+  uint64_t checkpoint_log_bytes = 0;
+
+  /// WAL segment roll threshold in bytes: the active segment is sealed and
+  /// a new one started at the first durable batch boundary past this size.
+  /// Truncation granularity is whole segments, so smaller segments bound
+  /// the disk footprint tighter at the cost of more files. 0 = the
+  /// kDefaultWalSegmentBytes compiled into wal/wal_segments.h (8 MiB).
+  uint64_t wal_segment_bytes = 0;
 
   /// Deterministic fault-injection schedule (env/fault_plan.h), installed
   /// into the Env at Open. Test-only: SimEnv honors it (injected I/O errors,

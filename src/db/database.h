@@ -2,6 +2,7 @@
 #define PITREE_DB_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -103,8 +104,20 @@ class Database {
   RecoveryMap* recovery_map() { return recovery_map_.get(); }
 
   // -- maintenance ----------------------------------------------------------
-  /// Takes a fuzzy checkpoint (ATT + DPT + master record).
+  /// Takes a fuzzy checkpoint (ATT + DPT + master record), then truncates
+  /// WAL segments wholly below the floor the checkpoint justifies.
   Status Checkpoint();
+  /// Checkpoints completed since Open (foreground and background). Tests and
+  /// benches use it to confirm the continuous checkpointer is actually
+  /// firing.
+  uint64_t checkpoints_taken() const {
+    return checkpoints_taken_.load(std::memory_order_relaxed);
+  }
+  /// Stops the background checkpointer thread, if one is running; idempotent
+  /// and harmless when none was started. Crash tests call this before
+  /// abandoning a database (SimEnv::Crash + release) so no detached thread
+  /// keeps mutating the post-crash environment they are about to verify.
+  void StopCheckpointer();
   /// Drains pending background maintenance, then flushes WAL and all dirty
   /// pages (clean shutdown helper).
   Status FlushAll();
@@ -134,6 +147,11 @@ class Database {
   /// Background lazy-redo drain: fetches pending pages in id order so the
   /// recovery map empties even on a read-light workload.
   void RecoverySweepLoop();
+  /// Continuous checkpointing (DESIGN.md §14): fires a fuzzy checkpoint
+  /// whenever Options::checkpoint_interval_ms has elapsed or
+  /// Options::checkpoint_log_bytes of new log accumulated since the last
+  /// one, then truncates WAL segments below the checkpoint's floor.
+  void CheckpointLoop();
 
   EngineContext ctx_;
   DiskManager disk_;
@@ -158,6 +176,12 @@ class Database {
 
   std::thread recovery_sweeper_;
   std::atomic<bool> sweeper_stop_{false};
+
+  std::thread checkpointer_;
+  std::mutex checkpointer_mu_;
+  std::condition_variable checkpointer_cv_;
+  bool checkpointer_stop_ = false;  // under checkpointer_mu_
+  std::atomic<uint64_t> checkpoints_taken_{0};
 };
 
 }  // namespace pitree

@@ -28,10 +28,14 @@ Status LogAndApply(EngineContext* ctx, Transaction* txn, PageHandle& page,
   // the reserved recLSN is always early enough.
   page.ReserveDirty(ctx->wal->next_lsn());
   Lsn lsn;
-  PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn));
+  // last_lsn is published inside the append mutex so a concurrent
+  // checkpoint ATT snapshot can never miss a record below its begin LSN
+  // (WalManager::AppendPublish).
+  WalManager::AppendPublish pub;
+  pub.last_lsn = &txn->last_lsn;
+  PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn, pub));
   PITREE_RETURN_IF_ERROR(ApplyAnyRedo(op, rec.redo, page.data()));
   page.MarkDirty(lsn);
-  txn->last_lsn = lsn;
   return Status::OK();
 }
 
@@ -47,12 +51,27 @@ Status LogAndApplyClr(EngineContext* ctx, Transaction* txn, PageHandle& page,
   rec.undo_next = undo_next;
   page.ReserveDirty(ctx->wal->next_lsn());  // see LogAndApply
   Lsn lsn;
-  PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn));
+  WalManager::AppendPublish pub;  // see LogAndApply
+  pub.last_lsn = &txn->last_lsn;
+  pub.undo_next = &txn->undo_next;
+  PITREE_RETURN_IF_ERROR(ctx->wal->Append(rec, &lsn, pub));
   PITREE_RETURN_IF_ERROR(ApplyAnyRedo(op, rec.redo, page.data()));
   page.MarkDirty(lsn);
-  txn->last_lsn = lsn;
-  txn->undo_next = undo_next;
   return Status::OK();
+}
+
+void LogActionAbort(EngineContext* ctx, Transaction* action) {
+  Lsn lsn;
+  WalManager::AppendPublish pub;
+  pub.last_lsn = &action->last_lsn;
+  ctx->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn, pub).ok();
+}
+
+void LogActionEnd(EngineContext* ctx, Transaction* action) {
+  Lsn lsn;
+  WalManager::AppendPublish pub;
+  pub.ended = &action->commit_appended;
+  ctx->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn, pub).ok();
 }
 
 }  // namespace pitree

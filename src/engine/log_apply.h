@@ -26,6 +26,19 @@ Status LogAndApply(EngineContext* ctx, Transaction* txn, PageHandle& page,
 Status LogAndApplyClr(EngineContext* ctx, Transaction* txn, PageHandle& page,
                       PageOp op, std::string redo, Lsn undo_next);
 
+/// Best-effort kAbort append for a failed atomic action, publishing the
+/// new undo-chain head inside the append mutex (WalManager::AppendPublish)
+/// so a concurrent checkpoint's ATT snapshot never captures a stale chain.
+/// Call before rolling the action back.
+void LogActionAbort(EngineContext* ctx, Transaction* action);
+
+/// Best-effort kEnd append after a failed atomic action's rollback. Marks
+/// the action ended inside the append mutex: a checkpoint beginning above
+/// the kEnd has the record outside its analysis scan, so an ATT entry
+/// would resurrect the fully-rolled-back action as a loser and re-undo
+/// its compensation chain from the top.
+void LogActionEnd(EngineContext* ctx, Transaction* action);
+
 }  // namespace pitree
 
 #endif  // PITREE_ENGINE_LOG_APPLY_H_

@@ -27,6 +27,8 @@ struct SyncEvent {
   uint64_t durable_size = 0;    // durable file size after the event
   bool atomic_replace = false;  // WriteFileAtomic: whole-file replacement,
                                 // atomic by contract (no torn variant)
+  bool deleted = false;         // DeleteFile: the durable image is gone
+                                // (WAL segment truncation journals these)
 };
 
 /// Deterministic fault-injection schedule consulted by SimEnv.

@@ -170,7 +170,17 @@ bool SimEnv::FileExists(const std::string& name) const {
 
 Status SimEnv::DeleteFile(const std::string& name) {
   std::lock_guard<std::mutex> guard(mu_);
-  files_.erase(name);
+  if (files_.erase(name) > 0 && fault_plan_ != nullptr &&
+      fault_plan_->recording()) {
+    // Deletion is modeled as immediately durable (unlink + dir fsync). That
+    // is the conservative direction for the explorer: a crash image at any
+    // later sync point lacks the file, so recovery succeeding from it proves
+    // the deleted bytes (truncated WAL segments) were never needed.
+    SyncEvent ev;
+    ev.file = name;
+    ev.deleted = true;
+    fault_plan_->RecordEvent(std::move(ev));
+  }
   return Status::OK();
 }
 

@@ -521,12 +521,10 @@ Status MdTree::SplitLeafAndRestart(PageHandle* leaf) {
     s = SplitNode(action, *leaf, &sibling, &sib_rect);
   }
   if (!s.ok()) {
-    Lsn lsn;
     if (action->last_lsn != kInvalidLsn) {
-      ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn).ok();
-      action->last_lsn = lsn;
+      LogActionAbort(ctx_, action);
       (void)ctx_->recovery->RollbackTxnWithPages(action, pages);
-      ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
+      LogActionEnd(ctx_, action);
     }
     ctx_->locks->ReleaseAll(action);
     ctx_->txns->Discard(action);
@@ -672,13 +670,10 @@ Status MdTree::PostIndexTerm(uint32_t x, uint32_t y) {
         break;  // restart from root via the outer loop
       }
       if (!s.ok()) {
-        Lsn lsn;
         if (action->last_lsn != kInvalidLsn) {
-          ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn)
-              .ok();
-          action->last_lsn = lsn;
+          LogActionAbort(ctx_, action);
           (void)ctx_->recovery->RollbackTxnWithPages(action, pages);
-          ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
+          LogActionEnd(ctx_, action);
         }
         ctx_->locks->ReleaseAll(action);
         ctx_->txns->Discard(action);

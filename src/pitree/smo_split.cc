@@ -25,16 +25,14 @@ Status PiTree::FreePage(Transaction* txn, PageId page) {
 
 void PiTree::AbortAction(Transaction* action,
                          std::map<PageId, PageHandle*>* action_pages) {
-  Lsn lsn;
   if (action->last_lsn != kInvalidLsn) {
-    ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn).ok();
-    action->last_lsn = lsn;
+    LogActionAbort(ctx_, action);
     ctx_->recovery
         ->RollbackTxnWithPages(action,
                                action_pages ? *action_pages
                                             : std::map<PageId, PageHandle*>{})
         .ok();
-    ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
+    LogActionEnd(ctx_, action);
   }
   ctx_->locks->ReleaseAll(action);
   ctx_->txns->Discard(action);
@@ -243,7 +241,7 @@ Status PiTree::SplitLeafForInsert(OpCtx* op, PageHandle* leaf,
   leaf->latch().PromoteUToX();
   std::map<PageId, PageHandle*> pages;
   pages[leaf_pid] = leaf;
-  Lsn savepoint = (owner == user && user != nullptr) ? user->last_lsn
+  Lsn savepoint = (owner == user && user != nullptr) ? user->last_lsn.load()
                                                      : kInvalidLsn;
   NodeRef node(leaf->data());
   Status s;

@@ -1,13 +1,20 @@
 #include "recovery/checkpoint.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/coding.h"
+#include "common/crc32.h"
 #include "mvcc/timestamp_oracle.h"
 #include "recovery/recovery_map.h"
 #include "wal/log_record.h"
 
 namespace pitree {
+
+namespace {
+constexpr char kMasterMagic[8] = {'P', 'i', 'M', 'A', 'S', 'T', 'R', '1'};
+constexpr size_t kMasterRecordSize = sizeof(kMasterMagic) + 8 + 4;
+}  // namespace
 
 std::string EncodeCheckpoint(const CheckpointData& data) {
   std::string out;
@@ -18,6 +25,7 @@ std::string EncodeCheckpoint(const CheckpointData& data) {
     PutVarint64(&out, e.last_lsn);
     PutVarint64(&out, e.undo_next);
     out.push_back(e.aborting ? 1 : 0);
+    PutVarint64(&out, e.first_lsn);
   }
   PutVarint32(&out, static_cast<uint32_t>(data.dpt.size()));
   for (const auto& [page, rec_lsn] : data.dpt) {
@@ -48,6 +56,9 @@ Status DecodeCheckpoint(Slice in, CheckpointData* data) {
     if (in.empty()) return Status::Corruption("ckpt aborting");
     e.aborting = in[0] != 0;
     in.remove_prefix(1);
+    if (!GetVarint64(&in, &e.first_lsn)) {
+      return Status::Corruption("ckpt first lsn");
+    }
     data->att.push_back(e);
   }
   if (!GetVarint32(&in, &n)) return Status::Corruption("ckpt dpt count");
@@ -64,10 +75,43 @@ Status DecodeCheckpoint(Slice in, CheckpointData* data) {
   if (!in.empty() && !GetVarint64(&in, &data->oracle_ts)) {
     return Status::Corruption("ckpt oracle ts");
   }
+  // The payload must end exactly here: an overlong payload behind a valid
+  // frame CRC is a malformed record, not a torn tail, and must not decode
+  // "successfully" with bytes silently ignored.
+  if (!in.empty()) return Status::Corruption("ckpt trailing bytes");
   return Status::OK();
 }
 
-Status CheckpointManager::TakeCheckpoint() {
+std::string EncodeMasterRecord(Lsn checkpoint_begin) {
+  std::string out(kMasterMagic, sizeof(kMasterMagic));
+  PutFixed64(&out, checkpoint_begin);
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+  return out;
+}
+
+Status DecodeMasterRecord(const std::string& in, Lsn* checkpoint_begin) {
+  if (in.size() != kMasterRecordSize ||
+      memcmp(in.data(), kMasterMagic, sizeof(kMasterMagic)) != 0) {
+    return Status::Corruption("master record malformed");
+  }
+  uint32_t crc = UnmaskCrc(DecodeFixed32(in.data() + in.size() - 4));
+  if (Crc32c(in.data(), in.size() - 4) != crc) {
+    return Status::Corruption("master record crc");
+  }
+  *checkpoint_begin = DecodeFixed64(in.data() + sizeof(kMasterMagic));
+  return Status::OK();
+}
+
+Status CheckpointManager::TakeCheckpoint(Lsn* out_begin, Lsn* out_floor) {
+  // One checkpoint at a time. Without this, two interleaved checkpoints
+  // could publish their masters in the opposite order of their begin LSNs:
+  // harmless when the master only shortens scans, silently unsafe once
+  // truncation deletes segments the stale master still points below. The
+  // guard deliberately spans the checkpoint's own I/O (pool sync, WAL
+  // force, master write); no append/read path ever takes this mutex.
+  // lint:allow-mutex-io -- slow-path serialization, I/O is the point
+  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+
   LogRecord begin;
   begin.type = LogRecordType::kCheckpointBegin;
   Lsn begin_lsn;
@@ -102,6 +146,16 @@ Status CheckpointManager::TakeCheckpoint() {
       }
     }
   }
+  // Sync phase: the DPT above vouches for every page whose image may lag
+  // the log; pages ABSENT from it completed their writes before the
+  // snapshot, and those writes may still sit in the OS cache. Make them
+  // durable before this checkpoint is published — once the master points
+  // here, recovery's redo trusts DPT absence, and truncation may delete
+  // the very records that could have repaired a lost write. (Crashing
+  // between the sync and the master publish is safe: the old master just
+  // scans more log.)
+  PITREE_RETURN_IF_ERROR(pool_->SyncDisk());
+
   // Read the clock after the ATT snapshot: any commit record that analysis
   // will not scan (it precedes this checkpoint) drew its timestamp before
   // this read, so the stamped high-water bounds it.
@@ -116,17 +170,42 @@ Status CheckpointManager::TakeCheckpoint() {
   // below never points at a checkpoint the log does not durably contain.
   PITREE_RETURN_IF_ERROR(wal_->Flush(end_lsn));
 
-  std::string master;
-  PutFixed64(&master, begin_lsn);
-  return env_->WriteFileAtomic(master_path_, master);
+  // Monotone master: never replace a newer checkpoint's pointer with an
+  // older one (belt to the serialization's suspenders — also covers a
+  // caller racing a checkpoint that already finished while it waited).
+  if (begin_lsn > published_begin_) {
+    PITREE_RETURN_IF_ERROR(
+        env_->WriteFileAtomic(master_path_, EncodeMasterRecord(begin_lsn)));
+    published_begin_ = begin_lsn;
+  }
+
+  // The truncation floor this checkpoint justifies. Every future recovery
+  // need is bounded below by it: analysis starts at begin_lsn, redo at the
+  // smallest DPT recLSN (lazy-redo pages already folded in above), and undo
+  // walks each ATT chain no further down than its kBegin. An ATT entry with
+  // first_lsn 0 ("unknown") pins the floor at 0 — no truncation — rather
+  // than risking a reachable record.
+  Lsn floor = begin_lsn;
+  for (const auto& [page, rec_lsn] : data.dpt) {
+    (void)page;
+    floor = std::min(floor, rec_lsn);
+  }
+  for (const auto& e : data.att) floor = std::min(floor, e.first_lsn);
+  if (out_begin != nullptr) *out_begin = begin_lsn;
+  if (out_floor != nullptr) *out_floor = floor;
+  return Status::OK();
 }
 
 Status CheckpointManager::ReadMaster(Lsn* checkpoint_begin) const {
   std::string data;
   Status s = env_->ReadFileToString(master_path_, &data);
   if (!s.ok()) return s;
-  if (data.size() < 8) return Status::Corruption("master record size");
-  *checkpoint_begin = DecodeFixed64(data.data());
+  // A master that fails validation is treated exactly like an absent one:
+  // recovery falls back to scanning from the WAL floor, which is always
+  // correct. Trusting a garbage begin LSN is not.
+  if (!DecodeMasterRecord(data, checkpoint_begin).ok()) {
+    return Status::NotFound("master record corrupt");
+  }
   return Status::OK();
 }
 

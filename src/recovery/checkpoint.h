@@ -1,6 +1,7 @@
 #ifndef PITREE_RECOVERY_CHECKPOINT_H_
 #define PITREE_RECOVERY_CHECKPOINT_H_
 
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,7 +31,17 @@ struct CheckpointData {
 };
 
 std::string EncodeCheckpoint(const CheckpointData& data);
+/// Corruption on any malformed payload, including trailing bytes after the
+/// oracle timestamp (an overlong payload behind a valid frame CRC is a bug,
+/// not a torn tail).
 Status DecodeCheckpoint(Slice in, CheckpointData* data);
+
+/// Master-record file format: magic "PiMASTR1" + fixed64 begin LSN + crc32c
+/// (masked) of the preceding 16 bytes. ReadMaster treats anything malformed
+/// as NotFound — recovery then falls back to a full scan from the WAL floor,
+/// which is always correct, instead of trusting a garbage scan start.
+std::string EncodeMasterRecord(Lsn checkpoint_begin);
+Status DecodeMasterRecord(const std::string& in, Lsn* checkpoint_begin);
 
 /// Fuzzy checkpointing (§4.3 infrastructure): no quiescing — the ATT/DPT
 /// snapshot plus the log suffix from the checkpoint reconstruct state.
@@ -55,9 +66,21 @@ class CheckpointManager {
         master_path_(std::move(master_path)) {}
 
   /// Appends begin/end checkpoint records, forces them, updates the master.
-  Status TakeCheckpoint();
+  /// Serialized internally: concurrent callers run one at a time, and the
+  /// master file never moves backwards — once truncation trusts the newest
+  /// master, a stale overwrite would point recovery below the floor.
+  ///
+  /// On success, `out_begin` (if non-null) is this checkpoint's begin LSN,
+  /// and `out_floor` is the WAL truncation floor it justifies: the minimum
+  /// of the begin LSN, every DPT recLSN (pending RecoveryMap pages already
+  /// folded in) and every ATT entry's first (kBegin) LSN. Every record a
+  /// future recovery can need — redo from the earliest recLSN, undo down
+  /// each loser's chain to its kBegin, analysis from this begin — sits at
+  /// or above it, so segments wholly below may be deleted.
+  Status TakeCheckpoint(Lsn* out_begin = nullptr, Lsn* out_floor = nullptr);
 
-  /// Reads the master record. NotFound if no checkpoint was ever taken.
+  /// Reads the master record. NotFound if no checkpoint was ever taken or
+  /// the master file is corrupt (recovery falls back to a full scan).
   Status ReadMaster(Lsn* checkpoint_begin) const;
 
  private:
@@ -68,6 +91,11 @@ class CheckpointManager {
   TimestampOracle* const oracle_;
   RecoveryMap* const recovery_map_;
   const std::string master_path_;
+
+  /// Serializes TakeCheckpoint and orders master-file writes.
+  std::mutex checkpoint_mu_;
+  /// Largest begin LSN ever published to the master (under checkpoint_mu_).
+  Lsn published_begin_ = 0;
 };
 
 }  // namespace pitree

@@ -6,6 +6,7 @@
 #include <cassert>
 #include <queue>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "engine/log_apply.h"
@@ -48,16 +49,33 @@ Status RecoveryManager::RunAnalysis(RecoveryStats* stats) {
   analysis_max_commit_ts_ = 0;
 
   // ---- Analysis -----------------------------------------------------------
-  Lsn scan_start = 0;
+  // Full-scan fallback starts at the WAL floor, not 0: segments below the
+  // floor have been truncated away, and the checkpoint that justified the
+  // truncation guarantees nothing below it is ever needed.
+  const Lsn wal_floor = ctx_->wal->floor_lsn();
+  Lsn scan_start = wal_floor;
   {
     CheckpointManager ckpt(ctx_->env, ctx_->wal, ctx_->pool, ctx_->txns,
                            master_path_);
     Lsn begin;
-    if (ckpt.ReadMaster(&begin).ok()) scan_start = begin;
+    // A validated master still gets bounds-checked against the log it
+    // points into (a master surviving from a different incarnation of the
+    // database could otherwise aim the scan at garbage); out of range, the
+    // floor fallback is always correct, just a longer scan.
+    if (ckpt.ReadMaster(&begin).ok() && begin >= wal_floor &&
+        begin < ctx_->wal->durable_lsn()) {
+      scan_start = begin;
+    }
   }
 
   std::unordered_map<TxnId, AnalyzedTxn> att;
   std::unordered_map<PageId, Lsn> dpt;
+  // Transactions the scan has seen END (commit or rollback-complete). A
+  // later kCheckpointEnd whose ATT still lists one — the snapshot ran
+  // between the checkpoint's begin and end appends, and the transaction
+  // ended in that window — must NOT resurrect it: re-inserting a committed
+  // transaction turns it into a loser and undoes durably committed work.
+  std::unordered_set<TxnId> ended;
   TxnId max_txn = 0;
   // Per-page redo ranges, split at the scan start: every kUpdate/kClr the
   // analysis scan sees qualifies for redo (its page's final recLSN is <=
@@ -79,9 +97,16 @@ Status RecoveryManager::RunAnalysis(RecoveryStats* stats) {
           CheckpointData data;
           PITREE_RETURN_IF_ERROR(DecodeCheckpoint(rec.misc, &data));
           for (const auto& e : data.att) {
+            if (ended.count(e.txn_id) != 0) continue;  // already over
             auto [it, inserted] = att.try_emplace(e.txn_id);
             if (inserted) {
-              it->second = {e.is_system, e.last_lsn, e.undo_next, e.aborting};
+              it->second = {e.is_system, e.last_lsn, e.undo_next, e.aborting,
+                            e.first_lsn};
+            } else if (it->second.first_lsn == kInvalidLsn) {
+              // The scan saw this transaction's updates (newer last_lsn /
+              // undo_next, keep those) but its kBegin predates the scan
+              // window: the checkpoint ATT is the authority on it.
+              it->second.first_lsn = e.first_lsn;
             }
             max_txn = std::max(max_txn, e.txn_id);
           }
@@ -104,6 +129,7 @@ Status RecoveryManager::RunAnalysis(RecoveryStats* stats) {
           t.is_system =
               !rec.misc.empty() && (rec.misc[0] & kBeginFlagSystem);
           t.last_lsn = rec.lsn;
+          t.first_lsn = rec.lsn;
           att[rec.txn_id] = t;
           break;
         }
@@ -125,6 +151,7 @@ Status RecoveryManager::RunAnalysis(RecoveryStats* stats) {
         }
         case LogRecordType::kCommit:
           att.erase(rec.txn_id);
+          ended.insert(rec.txn_id);
           stats->max_recovered_commit_ts =
               std::max(stats->max_recovered_commit_ts, rec.commit_ts);
           break;
@@ -133,6 +160,7 @@ Status RecoveryManager::RunAnalysis(RecoveryStats* stats) {
           break;
         case LogRecordType::kEnd:
           att.erase(rec.txn_id);
+          ended.insert(rec.txn_id);
           break;
         case LogRecordType::kCheckpointBegin:
           break;
@@ -235,9 +263,20 @@ Status RecoveryManager::RunUndo(RecoveryStats* stats) {
     } else {
       ++stats->loser_user_txns;
     }
-    Transaction* txn =
-        ctx_->txns->AdoptLoser(id, t.is_system, t.last_lsn, t.undo_next);
+    Transaction* txn = ctx_->txns->AdoptLoser(id, t.is_system, t.last_lsn,
+                                              t.undo_next, t.first_lsn);
     Lsn next = t.undo_next != kInvalidLsn ? t.undo_next : t.last_lsn;
+    if (next == kInvalidLsn) {
+      // A checkpoint ATT can capture a transaction between its kBegin and
+      // its first update: nothing to undo. Walking from LSN 0 instead used
+      // to hit the log's first record by accident — and, once truncation
+      // deletes that segment, a hard NotFound.
+      Lsn end_lsn;
+      PITREE_RETURN_IF_ERROR(
+          ctx_->wal->Append(MakeEnd(txn->id, txn->last_lsn), &end_lsn));
+      ctx_->txns->Discard(txn);
+      continue;
+    }
     todo.push({txn, next});
   }
 

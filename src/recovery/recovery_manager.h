@@ -111,6 +111,10 @@ class RecoveryManager {
     Lsn last_lsn = kInvalidLsn;
     Lsn undo_next = kInvalidLsn;
     bool aborting = false;
+    /// kBegin LSN (from the record itself or the checkpoint ATT); 0 if
+    /// never seen. Passed to AdoptLoser so checkpoints taken while the
+    /// loser is live keep the WAL truncation floor below its undo chain.
+    Lsn first_lsn = kInvalidLsn;
   };
 
   EngineContext* const ctx_;

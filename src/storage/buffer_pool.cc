@@ -424,6 +424,11 @@ Status BufferPool::FlushAll() {
   return Status::OK();
 }
 
+Status BufferPool::SyncDisk() {
+  analysis::AssertRankNotHeld(analysis::Rank::kPoolShard, "disk sync");
+  return disk_->Sync();
+}
+
 void BufferPool::DiscardAll() {
   for (auto& sp : shards_) {
     Shard& shard = *sp;

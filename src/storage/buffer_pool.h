@@ -137,6 +137,14 @@ class BufferPool {
   /// does).
   Status FlushAll();
 
+  /// Makes every completed page write durable (fsync of the data file).
+  /// Checkpoints call this between snapshotting the dirty-page table and
+  /// publishing the master: a page absent from the snapshot finished its
+  /// write before the snapshot, so the sync covers it — and only then may
+  /// the checkpoint (and the WAL truncation it justifies) stop vouching
+  /// for that page's redo records.
+  Status SyncDisk();
+
   /// Drops every frame without writing. Requires no outstanding pins.
   /// Used by tests to model loss of volatile state.
   void DiscardAll();

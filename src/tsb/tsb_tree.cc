@@ -540,12 +540,10 @@ Status TsbTree::SplitLeaf(PageHandle* leaf, const Slice& key) {
   }
 
   if (!s.ok()) {
-    Lsn lsn;
     if (action->last_lsn != kInvalidLsn) {
-      ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn).ok();
-      action->last_lsn = lsn;
+      LogActionAbort(ctx_, action);
       (void)ctx_->recovery->RollbackTxnWithPages(action, pages);
-      ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
+      LogActionEnd(ctx_, action);
     }
     ctx_->locks->ReleaseAll(action);
     ctx_->txns->Discard(action);
@@ -708,12 +706,10 @@ Status TsbTree::PostKeySplit(const Slice& approx_key) {
   if (s.ok()) {
     return ctx_->txns->Commit(action);
   }
-  Lsn lsn;
   if (action->last_lsn != kInvalidLsn) {
-    ctx_->wal->Append(MakeAbort(action->id, action->last_lsn), &lsn).ok();
-    action->last_lsn = lsn;
+    LogActionAbort(ctx_, action);
     ctx_->recovery->RollbackTxnWithPages(action, {}).ok();
-    ctx_->wal->Append(MakeEnd(action->id, action->last_lsn), &lsn).ok();
+    LogActionEnd(ctx_, action);
   }
   ctx_->locks->ReleaseAll(action);
   ctx_->txns->Discard(action);

@@ -1,6 +1,7 @@
 #ifndef PITREE_TXN_TRANSACTION_H_
 #define PITREE_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -34,16 +35,37 @@ enum class LockMode : uint8_t {
 ///
 /// Not thread-safe: a transaction is driven by one thread at a time; the
 /// TxnManager's table lock guards cross-thread visibility (checkpointing).
+/// Exception: `last_lsn`, `undo_next`, and `commit_appended` are read by
+/// the checkpointer's ATT snapshot while the owning thread appends log
+/// records, so they are atomics published *inside* the WAL append mutex
+/// (WalManager::AppendPublish) — never stored directly after an Append.
 struct Transaction {
   TxnId id = kInvalidTxnId;
   bool is_system = false;
   TxnState state = TxnState::kRunning;
 
+  /// LSN of this transaction's kBegin record (0 until logged). Checkpoints
+  /// snapshot it into the ATT: the WAL truncation floor must stay at or
+  /// below it so crash undo can walk this chain down to its kBegin.
+  Lsn first_lsn = kInvalidLsn;
+
   /// LSN of this transaction's most recent log record (undo chain head).
-  Lsn last_lsn = kInvalidLsn;
+  /// Published by the WAL append that assigns it (see struct comment).
+  std::atomic<Lsn> last_lsn{kInvalidLsn};
 
   /// During rollback: next record to undo (kInvalidLsn = use last_lsn).
-  Lsn undo_next = kInvalidLsn;
+  /// Published with each CLR append.
+  std::atomic<Lsn> undo_next{kInvalidLsn};
+
+  /// Set (under TxnManager::mu_ or inside the WAL append mutex, atomically
+  /// with the append) once the
+  /// commit record is in the log. SnapshotAtt skips such transactions: a
+  /// checkpoint that begins after this point has the commit record below
+  /// its begin LSN, outside its analysis scan — an ATT entry would
+  /// resurrect the committed transaction as a loser and roll back durably
+  /// committed work. (Durability is safe: the checkpoint end is forced
+  /// at a higher LSN, which forces this commit record with it.)
+  std::atomic<bool> commit_appended{false};
 
   /// MVCC: first version timestamp this transaction wrote at (0 = none).
   /// Set when the TSB-tree registers the transaction as an active writer

@@ -18,14 +18,22 @@ Transaction* TxnManager::Begin(bool is_system) {
 }
 
 Status TxnManager::EnsureBegun(Transaction* txn) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    auto it = begun_.find(txn->id);
-    if (it == begun_.end() || it->second) return Status::OK();
-    it->second = true;
-  }
+  // The kBegin append happens inside the table-mutex critical section (the
+  // WAL append mutex is the leaf of the latch order, so taking it under mu_
+  // is legal and cheap — Append stages bytes in memory, no I/O). This makes
+  // "begun" and first_lsn atomic with respect to SnapshotAtt: a checkpoint
+  // either sees the transaction with its kBegin LSN, or doesn't see it at
+  // all — in which case its kBegin will land after the checkpoint's begin
+  // record, above any truncation floor the checkpoint derives.
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = begun_.find(txn->id);
+  if (it == begun_.end() || it->second) return Status::OK();
   Lsn lsn;
-  return wal_->Append(MakeBegin(txn->id, txn->is_system), &lsn);
+  PITREE_RETURN_IF_ERROR(wal_->Append(MakeBegin(txn->id, txn->is_system),
+                                      &lsn));
+  it->second = true;
+  txn->first_lsn = lsn;
+  return Status::OK();
 }
 
 Status TxnManager::Commit(Transaction* txn) {
@@ -38,19 +46,30 @@ Status TxnManager::Commit(Transaction* txn) {
   if (logged) {
     Lsn lsn;
     Timestamp cts = 0;
-    if (oracle_ != nullptr) {
-      // Allocate the commit timestamp and append the commit record under
-      // one mutex: commit-timestamp order equals LSN order, so "commits
-      // with cts <= visible" and "commits in the durable prefix" name the
-      // same set — a snapshot can never admit a commit whose record could
-      // be lost while an earlier-stamped one survives.
-      std::lock_guard<std::mutex> order(commit_order_mu_);
-      cts = oracle_->AllocateCommitTs();
-      PITREE_RETURN_IF_ERROR(
-          wal_->Append(MakeCommit(txn->id, txn->last_lsn, cts), &lsn));
-    } else {
-      PITREE_RETURN_IF_ERROR(wal_->Append(MakeCommit(txn->id, txn->last_lsn),
-                                          &lsn));
+    {
+      // The append and the ATT-visibility flip must be one atomic step
+      // with respect to SnapshotAtt (mirror of EnsureBegun): otherwise a
+      // checkpoint beginning while this transaction parks on the group
+      // flush below snapshots it as live even though its commit record
+      // sits BELOW the checkpoint's begin — outside the analysis scan —
+      // and recovery would resurrect it as a loser and undo committed
+      // work. Lock order: mu_ -> commit_order_mu_ -> WAL append (leaf).
+      std::lock_guard<std::mutex> lk(mu_);
+      if (oracle_ != nullptr) {
+        // Allocate the commit timestamp and append the commit record under
+        // one mutex: commit-timestamp order equals LSN order, so "commits
+        // with cts <= visible" and "commits in the durable prefix" name the
+        // same set — a snapshot can never admit a commit whose record could
+        // be lost while an earlier-stamped one survives.
+        std::lock_guard<std::mutex> order(commit_order_mu_);
+        cts = oracle_->AllocateCommitTs();
+        PITREE_RETURN_IF_ERROR(
+            wal_->Append(MakeCommit(txn->id, txn->last_lsn, cts), &lsn));
+      } else {
+        PITREE_RETURN_IF_ERROR(
+            wal_->Append(MakeCommit(txn->id, txn->last_lsn), &lsn));
+      }
+      txn->commit_appended = true;
     }
     if (!txn->is_system) {
       // Durability for user transactions: park on the group-commit pipeline
@@ -85,13 +104,21 @@ Status TxnManager::Abort(Transaction* txn) {
   txn->state = TxnState::kAborting;
   if (logged) {
     Lsn lsn;
+    WalManager::AppendPublish pub;  // see WalManager::AppendPublish
+    pub.last_lsn = &txn->last_lsn;
     PITREE_RETURN_IF_ERROR(wal_->Append(MakeAbort(txn->id, txn->last_lsn),
-                                        &lsn));
-    txn->last_lsn = lsn;
+                                        &lsn, pub));
     assert(rollback_);
     PITREE_RETURN_IF_ERROR(rollback_(txn));
-    PITREE_RETURN_IF_ERROR(
-        wal_->Append(MakeEnd(txn->id, txn->last_lsn), &lsn));
+    {
+      // Same atomicity as the commit append: once kEnd is in the log the
+      // rollback is complete, and a checkpoint beginning above it must not
+      // snapshot this transaction into its ATT (see commit_appended).
+      std::lock_guard<std::mutex> lk(mu_);
+      PITREE_RETURN_IF_ERROR(
+          wal_->Append(MakeEnd(txn->id, txn->last_lsn), &lsn));
+      txn->commit_appended = true;
+    }
   }
   txn->state = TxnState::kAborted;
   locks_->ReleaseAll(txn);
@@ -100,11 +127,12 @@ Status TxnManager::Abort(Transaction* txn) {
 }
 
 Transaction* TxnManager::AdoptLoser(TxnId id, bool is_system, Lsn last_lsn,
-                                    Lsn undo_next) {
+                                    Lsn undo_next, Lsn first_lsn) {
   auto txn = std::make_unique<Transaction>();
   txn->id = id;
   txn->is_system = is_system;
   txn->state = TxnState::kAborting;
+  txn->first_lsn = first_lsn;
   txn->last_lsn = last_lsn;
   txn->undo_next = undo_next;
   Transaction* raw = txn.get();
@@ -136,8 +164,11 @@ std::vector<AttEntry> TxnManager::SnapshotAtt() const {
   for (const auto& [id, txn] : active_) {
     auto bit = begun_.find(id);
     if (bit == begun_.end() || !bit->second) continue;  // nothing logged
+    // A commit record already in the log ends the transaction for
+    // recovery's purposes — see Transaction::commit_appended.
+    if (txn->commit_appended) continue;
     att.push_back({id, txn->is_system, txn->last_lsn, txn->undo_next,
-                   txn->state == TxnState::kAborting});
+                   txn->state == TxnState::kAborting, txn->first_lsn});
   }
   return att;
 }

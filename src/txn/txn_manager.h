@@ -25,6 +25,11 @@ struct AttEntry {
   Lsn last_lsn;
   Lsn undo_next;
   bool aborting;
+  /// LSN of the transaction's kBegin record: the oldest record its crash
+  /// undo can need, so the WAL truncation floor takes the minimum over
+  /// these (recovery/checkpoint.h). 0 is "unknown" and conservatively
+  /// pins the floor at the log's start.
+  Lsn first_lsn = kInvalidLsn;
 };
 
 /// Owns all live transactions and atomic actions.
@@ -72,8 +77,11 @@ class TxnManager {
   Status Abort(Transaction* txn);
 
   /// Registers a transaction reconstructed by recovery analysis (loser).
+  /// `first_lsn` is the loser's kBegin LSN (0 if analysis never saw it),
+  /// so checkpoints taken while the loser is still active keep the WAL
+  /// truncation floor below its undo chain.
   Transaction* AdoptLoser(TxnId id, bool is_system, Lsn last_lsn,
-                          Lsn undo_next);
+                          Lsn undo_next, Lsn first_lsn = kInvalidLsn);
 
   /// Destroys a transaction without logging (used by recovery after a
   /// loser's undo completes).

@@ -67,15 +67,21 @@ void WalManager::MuLock::Lock() {
 }
 
 Status WalManager::Open(Env* env, const std::string& path,
-                        uint64_t group_commit_window_us) {
+                        uint64_t group_commit_window_us,
+                        uint64_t segment_bytes) {
   MuLock lk(*this);
   window_us_ = group_commit_window_us;
-  PITREE_RETURN_IF_ERROR(env->OpenFile(path, &file_));
+  segment_bytes_ = segment_bytes > 0 ? segment_bytes : kDefaultWalSegmentBytes;
+  PITREE_RETURN_IF_ERROR(segments_.Open(env, path, /*read_only=*/false));
   // Scan for the end of the valid prefix; a torn tail from a crash is
-  // ignored and will be overwritten by subsequent appends.
-  LogReader reader(file_.get(), 0, kScanReadAhead);
+  // ignored and will be overwritten by subsequent appends. Sealed segments
+  // are exactly batch-aligned and fully durable (rolls happen only after a
+  // successful sync), so only the active segment can hold a torn tail —
+  // starting the scan at its start LSN is enough.
+  LogReader reader(segments_.reader_view(), segments_.last_start_lsn(),
+                   kScanReadAhead);
   LogRecord rec;
-  Lsn end = 0;
+  Lsn end = segments_.last_start_lsn();
   Status scan;
   while ((scan = reader.ReadNext(&rec)).ok()) {
     end = reader.offset();
@@ -87,14 +93,29 @@ Status WalManager::Open(Env* env, const std::string& path,
   if (!scan.IsNotFound()) return scan;
   durable_.store(end, std::memory_order_release);
   next_.store(end, std::memory_order_release);
+  floor_.store(segments_.floor_lsn(), std::memory_order_release);
   // Drop any torn bytes so appends extend a clean prefix.
-  if (file_->Size() > end) {
-    PITREE_RETURN_IF_ERROR(file_->Truncate(end));
+  return segments_.TruncateActiveTo(end);
+}
+
+Status WalManager::TruncateBelow(Lsn floor) {
+  analysis::AssertRankNotHeld(analysis::Rank::kWalMutex, "WAL truncate");
+  floor = std::min(floor, durable_.load(std::memory_order_acquire));
+  uint64_t deleted = 0;
+  PITREE_RETURN_IF_ERROR(segments_.TruncateBelow(floor, &deleted));
+  if (deleted > 0) {
+    n_truncated_segments_.fetch_add(deleted, std::memory_order_relaxed);
+    floor_.store(segments_.floor_lsn(), std::memory_order_release);
   }
   return Status::OK();
 }
 
 Status WalManager::Append(const LogRecord& rec, Lsn* lsn) {
+  return Append(rec, lsn, AppendPublish());
+}
+
+Status WalManager::Append(const LogRecord& rec, Lsn* lsn,
+                          const AppendPublish& pub) {
   // Encode outside the mutex: the critical section below is a reservation
   // plus two memcpys, never CPU-bound work and never file I/O.
   std::string payload;
@@ -105,6 +126,21 @@ Status WalManager::Append(const LogRecord& rec, Lsn* lsn) {
 
   MuLock lk(*this);
   *lsn = next_.load(std::memory_order_relaxed);
+  // Publish transaction state while the mutex is held: the checkpoint
+  // begin append takes this same mutex, so every publication for a record
+  // below the begin LSN happens-before the ATT snapshot (AppendPublish in
+  // the header has the full argument). Relaxed suffices — the mutex
+  // provides the ordering; the atomics only make concurrent snapshot
+  // reads of post-begin publications defined.
+  if (pub.last_lsn != nullptr) {
+    pub.last_lsn->store(*lsn, std::memory_order_relaxed);
+  }
+  if (pub.undo_next != nullptr) {
+    pub.undo_next->store(rec.undo_next, std::memory_order_relaxed);
+  }
+  if (pub.ended != nullptr) {
+    pub.ended->store(true, std::memory_order_relaxed);
+  }
   frame_starts_.push_back(*lsn);
   active_.append(header, sizeof(header));
   active_.append(payload);
@@ -117,7 +153,7 @@ Status WalManager::Append(const LogRecord& rec, Lsn* lsn) {
 }
 
 LogReader WalManager::MakeDurableScanner(Lsn start) const {
-  return LogReader(file_.get(), start, kScanReadAhead);
+  return LogReader(segments_.reader_view(), start, kScanReadAhead);
 }
 
 Status WalManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
@@ -129,7 +165,7 @@ Status WalManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
   // on this: replay reads during instant restore must not convoy commit
   // appends behind mu_.
   if (lsn < durable_.load(std::memory_order_acquire)) {
-    LogReader reader(file_.get(), lsn);
+    LogReader reader(segments_.reader_view(), lsn);
     return reader.ReadNext(rec);
   }
   MuLock lk(*this);
@@ -138,7 +174,7 @@ Status WalManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
     // Durability advanced past lsn while acquiring the mutex; read the
     // now-immutable bytes with the mutex dropped, like the fast path.
     lk.Unlock();
-    LogReader reader(file_.get(), lsn);
+    LogReader reader(segments_.reader_view(), lsn);
     return reader.ReadNext(rec);
   }
   // Buffered path: the bytes live in the flushing or active segment. The
@@ -209,6 +245,19 @@ Status WalManager::WaitUntilDurable(Lsn upto) {
         lk.Lock();
       }
       Status s = FlushBatchLocked(lk);
+      if (s.ok() &&
+          durable_.load(std::memory_order_relaxed) -
+                  segments_.last_start_lsn() >=
+              segment_bytes_) {
+        // Roll at the durable batch boundary, I/O outside the mutex. The
+        // next batch's base is exactly the new segment's start LSN, so no
+        // frame ever spans segments. A failed roll just retries after the
+        // next batch — the oversized active segment keeps accepting writes.
+        lk.Unlock();
+        (void)segments_.RollIfNeeded(
+            durable_.load(std::memory_order_acquire), segment_bytes_);
+        lk.Lock();
+      }
       flush_in_progress_ = false;
       cv_durable_.notify_all();
       if (!s.ok()) return s;
@@ -272,13 +321,13 @@ Status WalManager::FlushBatchLocked(MuLock& lk) {
 
 Status WalManager::DoWrite(Lsn offset, const std::string& buf) {
   analysis::AssertRankNotHeld(analysis::Rank::kWalMutex, "WAL Write");
-  return file_->Write(offset, buf);
+  return segments_.WriteAt(offset, buf);
 }
 
 Status WalManager::DoSync() {
   analysis::AssertRankNotHeld(analysis::Rank::kWalMutex, "WAL Sync");
   n_sync_calls_.fetch_add(1, std::memory_order_relaxed);
-  return file_->Sync();
+  return segments_.SyncActive();
 }
 
 WalStats WalManager::stats() const {
@@ -290,6 +339,10 @@ WalStats WalManager::stats() const {
   s.sync_failures = n_sync_failures_.load(std::memory_order_relaxed);
   s.synced_bytes = n_synced_bytes_.load(std::memory_order_relaxed);
   s.waiter_wakeups = n_waiter_wakeups_.load(std::memory_order_relaxed);
+  s.segments = segments_.segment_count();
+  s.truncated_segments =
+      n_truncated_segments_.load(std::memory_order_relaxed);
+  s.wal_disk_bytes = segments_.disk_bytes();
   s.avg_batch_bytes =
       s.batches > 0 ? static_cast<double>(s.synced_bytes) / s.batches : 0.0;
   return s;

@@ -14,6 +14,7 @@
 #include "env/env.h"
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
+#include "wal/wal_segments.h"
 
 namespace pitree {
 
@@ -28,13 +29,23 @@ struct WalStats {
   uint64_t sync_failures = 0;   // write or sync attempts that failed
   uint64_t synced_bytes = 0;    // bytes made durable by successful batches
   uint64_t waiter_wakeups = 0;  // parked force waiters released durable
+  uint64_t segments = 0;            // live segment files
+  uint64_t truncated_segments = 0;  // segment files deleted by TruncateBelow
+  uint64_t wal_disk_bytes = 0;      // sum of live segment file sizes
   /// synced_bytes / batches; > one frame means group commit is batching.
   double avg_batch_bytes = 0;
 };
 
 /// Write-ahead log appender with group commit.
 ///
-/// LSNs are byte offsets of record frames in the log file. The write path is
+/// The log is stored as numbered segment files (`<path>.000001`, ... — see
+/// wal/wal_segments.h); LSNs stay global byte offsets of the record stream,
+/// so segmentation is invisible above this class. Segments roll at durable
+/// batch boundaries and TruncateBelow() deletes segments wholly below the
+/// checkpoint-derived floor, which is what bounds the log's disk footprint
+/// under continuous checkpointing (DESIGN.md §14).
+///
+/// The write path is
 /// a two-stage pipeline that never holds the append mutex across file I/O:
 ///
 ///  1. *Append* encodes the record outside the mutex, then under a short
@@ -66,16 +77,43 @@ class WalManager {
   WalManager(const WalManager&) = delete;
   WalManager& operator=(const WalManager&) = delete;
 
-  /// Opens/creates the log file and positions the append point after the
-  /// last complete record. `group_commit_window_us` is how long an elected
-  /// leader waits for more commits before syncing (0 = sync immediately
-  /// when a waiter exists).
+  /// Opens/creates the log's segment chain and positions the append point
+  /// after the last complete record. `group_commit_window_us` is how long
+  /// an elected leader waits for more commits before syncing (0 = sync
+  /// immediately when a waiter exists). `segment_bytes` is the roll
+  /// threshold (0 = kDefaultWalSegmentBytes).
   Status Open(Env* env, const std::string& path,
-              uint64_t group_commit_window_us = 0);
+              uint64_t group_commit_window_us = 0,
+              uint64_t segment_bytes = 0);
+
+  /// Transaction-state publication performed *inside* Append's critical
+  /// section, right after the LSN is assigned. Checkpointing depends on
+  /// this placement: the checkpoint's own begin record goes through the
+  /// same append mutex, so any record with an LSN below the begin has its
+  /// publication ordered before the begin append — and therefore before
+  /// the ATT snapshot that follows it. A store made *after* Append returns
+  /// (the old idiom) can race the snapshot, producing an ATT entry whose
+  /// undo-chain head predates records the analysis scan will never see.
+  /// Conversely, any publication the snapshot can observe belongs to an
+  /// append whose critical section preceded the checkpoint-end append, so
+  /// its LSN is below the end LSN and forced durable with the master.
+  struct AppendPublish {
+    /// Receives the assigned LSN (undo chain head).
+    std::atomic<Lsn>* last_lsn = nullptr;
+    /// Receives `rec.undo_next` (CLR appends during rollback).
+    std::atomic<Lsn>* undo_next = nullptr;
+    /// Set to true (kCommit/kEnd appends done outside TxnManager::mu_):
+    /// marks the transaction finished so SnapshotAtt skips it.
+    std::atomic<bool>* ended = nullptr;
+  };
 
   /// Appends a record, assigning and returning its LSN via `*lsn`. Does not
-  /// block on I/O: the record lands in the active segment only.
+  /// block on I/O: the record lands in the active segment only. `pub`
+  /// optionally publishes transaction state under the append mutex (see
+  /// AppendPublish for why callers must not store these fields themselves
+  /// after Append returns).
   Status Append(const LogRecord& rec, Lsn* lsn);
+  Status Append(const LogRecord& rec, Lsn* lsn, const AppendPublish& pub);
 
   /// Makes every record with LSN <= `lsn` durable. Parks the caller on the
   /// group-commit pipeline; the caller must hold no page latches (§4.1
@@ -110,6 +148,17 @@ class WalManager {
   /// appends, where the file simply ends at the horizon.
   LogReader MakeDurableScanner(Lsn start) const;
 
+  /// Deletes whole segments below `floor` (clamped to the durable horizon;
+  /// the active segment always survives). The caller must have derived
+  /// `floor` from a durable checkpoint (recovery/checkpoint.h computes it:
+  /// min of checkpoint begin, DPT recLSNs, ATT first-LSNs and the pending
+  /// RecoveryMap floor), so nothing below it can ever be read again.
+  Status TruncateBelow(Lsn floor);
+
+  /// First LSN still backed by a segment file: reads below return NotFound
+  /// and scans must start at or above it. Lock-free.
+  Lsn floor_lsn() const { return floor_.load(std::memory_order_acquire); }
+
   /// First LSN that has NOT been made durable. Lock-free.
   Lsn durable_lsn() const {
     return durable_.load(std::memory_order_acquire);
@@ -126,7 +175,9 @@ class WalManager {
     return n_batches_.load(std::memory_order_relaxed);
   }
 
-  /// Relaxed snapshot of all pipeline counters.
+  /// Snapshot of all pipeline counters. Never touches the append mutex
+  /// (the disk-footprint fields query segment file sizes, which costs the
+  /// env mutex only).
   WalStats stats() const;
 
  private:
@@ -158,8 +209,9 @@ class WalManager {
   Status DoWrite(Lsn offset, const std::string& buf);
   Status DoSync();
 
-  std::unique_ptr<File> file_;
+  WalSegmentSet segments_;
   uint64_t window_us_ = 0;
+  uint64_t segment_bytes_ = kDefaultWalSegmentBytes;
 
   mutable std::mutex mu_;
   /// Force waiters (and followers watching a leader) sleep here; the leader
@@ -184,6 +236,7 @@ class WalManager {
 
   std::atomic<Lsn> durable_{0};  // all bytes below are synced
   std::atomic<Lsn> next_{0};     // LSN the next append assigns
+  std::atomic<Lsn> floor_{0};    // first LSN still backed by a segment
 
   // WalStats counters (relaxed; mutated on the paths named above).
   std::atomic<uint64_t> n_appends_{0};
@@ -193,6 +246,7 @@ class WalManager {
   std::atomic<uint64_t> n_sync_failures_{0};
   std::atomic<uint64_t> n_synced_bytes_{0};
   std::atomic<uint64_t> n_waiter_wakeups_{0};
+  std::atomic<uint64_t> n_truncated_segments_{0};
 };
 
 }  // namespace pitree

@@ -1,0 +1,382 @@
+#include "wal/wal_segments.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace pitree {
+
+namespace {
+
+constexpr char kSegmentMagic[8] = {'P', 'i', 'W', 'L', 'S', 'E', 'G', '1'};
+constexpr uint32_t kSegmentVersion = 1;
+constexpr char kFloorMagic[8] = {'P', 'i', 'W', 'L', 'F', 'L', 'R', '1'};
+
+std::string EncodeFloorHint(uint64_t first_seq) {
+  std::string out(kFloorMagic, sizeof(kFloorMagic));
+  PutFixed64(&out, first_seq);
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+  return out;
+}
+
+Status DecodeFloorHint(const std::string& in, uint64_t* first_seq) {
+  if (in.size() != sizeof(kFloorMagic) + 12 ||
+      memcmp(in.data(), kFloorMagic, sizeof(kFloorMagic)) != 0) {
+    return Status::Corruption("wal floor hint malformed");
+  }
+  uint32_t crc = UnmaskCrc(DecodeFixed32(in.data() + in.size() - 4));
+  if (Crc32c(in.data(), in.size() - 4) != crc) {
+    return Status::Corruption("wal floor hint crc");
+  }
+  *first_seq = DecodeFixed64(in.data() + sizeof(kFloorMagic));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string WalSegmentFileName(const std::string& base, uint64_t seq) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), ".%06llu", static_cast<unsigned long long>(seq));
+  return base + buf;
+}
+
+std::string WalFloorHintFileName(const std::string& base) {
+  return base + ".floor";
+}
+
+std::string EncodeWalSegmentHeader(uint64_t seq, Lsn start_lsn) {
+  std::string out(kSegmentMagic, sizeof(kSegmentMagic));
+  PutFixed32(&out, kSegmentVersion);
+  PutFixed64(&out, seq);
+  PutFixed64(&out, start_lsn);
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+  return out;
+}
+
+Status DecodeWalSegmentHeader(Slice in, uint64_t* seq, Lsn* start_lsn) {
+  if (in.size() < kWalSegmentHeaderSize) {
+    return Status::Corruption("wal segment header short");
+  }
+  if (memcmp(in.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    return Status::Corruption("wal segment magic");
+  }
+  uint32_t crc = UnmaskCrc(DecodeFixed32(in.data() + 28));
+  if (Crc32c(in.data(), 28) != crc) {
+    return Status::Corruption("wal segment header crc");
+  }
+  uint32_t version = DecodeFixed32(in.data() + 8);
+  if (version != kSegmentVersion) {
+    return Status::Corruption("wal segment version");
+  }
+  *seq = DecodeFixed64(in.data() + 12);
+  *start_lsn = DecodeFixed64(in.data() + 20);
+  return Status::OK();
+}
+
+Status WalSegmentSet::CreateSegment(uint64_t seq, Lsn start, Segment* out) {
+  const std::string name = WalSegmentFileName(base_, seq);
+  std::unique_ptr<File> f;
+  PITREE_RETURN_IF_ERROR(env_->OpenFile(name, &f));
+  // Recreating after a torn first header: drop whatever partial bytes the
+  // crash left so the header sync's dirty range is exactly the header.
+  if (f->Size() > 0) PITREE_RETURN_IF_ERROR(f->Truncate(0));
+  std::string header = EncodeWalSegmentHeader(seq, start);
+  Status s = f->Write(0, header);
+  if (s.ok()) s = f->Sync();
+  if (!s.ok()) {
+    // Never leave a segment file whose header may be volatile-only garbage
+    // ahead of the chain walk.
+    (void)env_->DeleteFile(name);
+    return s;
+  }
+  out->seq = seq;
+  out->start = start;
+  out->file = std::move(f);
+  return Status::OK();
+}
+
+Status WalSegmentSet::Open(Env* env, const std::string& base, bool read_only) {
+  env_ = env;
+  base_ = base;
+  read_only_ = read_only;
+  std::vector<Segment> chain;
+
+  uint64_t first_seq = 1;
+  std::string hint;
+  Status hs = env->ReadFileToString(WalFloorHintFileName(base), &hint);
+  if (hs.ok()) {
+    PITREE_RETURN_IF_ERROR(DecodeFloorHint(hint, &first_seq));
+  } else if (!hs.IsNotFound()) {
+    return hs;
+  }
+
+  if (!read_only && first_seq > 1) {
+    // A crash between the hint write and the segment deletes leaks
+    // segments below the hint; they are unreachable, so reclaim them.
+    for (uint64_t seq = first_seq; seq-- > 1;) {
+      if (!env->FileExists(WalSegmentFileName(base, seq))) break;
+      PITREE_RETURN_IF_ERROR(env->DeleteFile(WalSegmentFileName(base, seq)));
+    }
+  }
+
+  Lsn expect_start = 0;
+  for (uint64_t seq = first_seq;
+       env->FileExists(WalSegmentFileName(base, seq)); ++seq) {
+    const std::string name = WalSegmentFileName(base, seq);
+    std::unique_ptr<File> f;
+    PITREE_RETURN_IF_ERROR(env->OpenFile(name, &f));
+    char scratch[kWalSegmentHeaderSize];
+    Slice header;
+    PITREE_RETURN_IF_ERROR(f->Read(0, kWalSegmentHeaderSize, &header,
+                                   scratch));
+    uint64_t hseq = 0;
+    Lsn hstart = 0;
+    Status hdr = DecodeWalSegmentHeader(header, &hseq, &hstart);
+    bool valid = hdr.ok() && hseq == seq;
+    if (valid) {
+      if (chain.empty()) {
+        // The first segment of a never-truncated log must start the LSN
+        // space; a truncated log's first segment starts wherever the hint
+        // says the chain resumes.
+        valid = seq != 1 || hstart == 0;
+      } else {
+        valid = hstart == expect_start;
+      }
+    }
+    if (!valid) {
+      // Only the trailing segment can have an undurable header: rolls
+      // sync the new header before any record lands in it, and sealed
+      // segments are immutable. A bad header mid-chain is real corruption.
+      if (env->FileExists(WalSegmentFileName(base, seq + 1))) {
+        return Status::Corruption("wal segment chain broken at " + name);
+      }
+      if (!chain.empty()) {
+        // Torn roll: the freshly created segment never got a durable
+        // header, so it holds no reachable records. Drop it.
+        if (!read_only) PITREE_RETURN_IF_ERROR(env->DeleteFile(name));
+        break;
+      }
+      if (seq != 1) {
+        // The hint's floor segment contained a durable checkpoint when the
+        // hint was written; its header cannot be torn.
+        return Status::Corruption("wal floor segment header invalid: " +
+                                  name);
+      }
+      // Segment 1 with a torn header: the crash hit the very first open,
+      // before any record could exist. Recreate (or, inspecting an image,
+      // report an empty log).
+      if (read_only) break;
+      Segment fresh;
+      PITREE_RETURN_IF_ERROR(CreateSegment(1, 0, &fresh));
+      chain.push_back(std::move(fresh));
+      break;
+    }
+    expect_start = hstart + (f->Size() - kWalSegmentHeaderSize);
+    Segment seg;
+    seg.seq = seq;
+    seg.start = hstart;
+    seg.file = std::move(f);
+    chain.push_back(std::move(seg));
+  }
+
+  if (chain.empty()) {
+    if (first_seq > 1) {
+      return Status::Corruption("wal floor segment missing");
+    }
+    if (!read_only) {
+      Segment fresh;
+      PITREE_RETURN_IF_ERROR(CreateSegment(1, 0, &fresh));
+      chain.push_back(std::move(fresh));
+    }
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  segments_ = std::move(chain);
+  return Status::OK();
+}
+
+bool WalSegmentSet::empty() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segments_.empty();
+}
+
+Lsn WalSegmentSet::floor_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segments_.empty() ? 0 : segments_.front().start;
+}
+
+Lsn WalSegmentSet::last_start_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segments_.empty() ? 0 : segments_.back().start;
+}
+
+uint64_t WalSegmentSet::segment_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segments_.size();
+}
+
+uint64_t WalSegmentSet::disk_bytes() const {
+  std::vector<std::shared_ptr<File>> files;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    files.reserve(segments_.size());
+    for (const auto& s : segments_) files.push_back(s.file);
+  }
+  uint64_t total = 0;
+  for (const auto& f : files) total += f->Size();
+  return total;
+}
+
+Status WalSegmentSet::WriteAt(Lsn offset, const Slice& data) {
+  std::shared_ptr<File> f;
+  Lsn start;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    f = segments_.back().file;
+    start = segments_.back().start;
+  }
+  // The roll-at-batch-boundary invariant: a batch's base is the durable
+  // end, and rolls only happen at the durable end, so the whole batch
+  // lands in the active segment.
+  return f->Write(kWalSegmentHeaderSize + (offset - start), data);
+}
+
+Status WalSegmentSet::SyncActive() {
+  std::shared_ptr<File> f;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    f = segments_.back().file;
+  }
+  return f->Sync();
+}
+
+Status WalSegmentSet::TruncateActiveTo(Lsn end) {
+  std::shared_ptr<File> f;
+  Lsn start;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    f = segments_.back().file;
+    start = segments_.back().start;
+  }
+  uint64_t want = kWalSegmentHeaderSize + (end - start);
+  if (f->Size() > want) return f->Truncate(want);
+  return Status::OK();
+}
+
+Status WalSegmentSet::RollIfNeeded(Lsn end, uint64_t segment_bytes) {
+  uint64_t next_seq;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const Segment& last = segments_.back();
+    if (end - last.start < segment_bytes) return Status::OK();
+    next_seq = last.seq + 1;
+  }
+  Segment fresh;
+  PITREE_RETURN_IF_ERROR(CreateSegment(next_seq, end, &fresh));
+  std::lock_guard<std::mutex> lk(mu_);
+  segments_.push_back(std::move(fresh));
+  return Status::OK();
+}
+
+Status WalSegmentSet::TruncateBelow(Lsn floor, uint64_t* deleted_segments) {
+  *deleted_segments = 0;
+  // One truncation at a time: the floor hint must be durable before any
+  // unlink it vouches for, and interleaved truncations could reorder the
+  // two. Appends and readers synchronize on mu_, never on this.
+  // lint:allow-mutex-io -- slow-path serialization, I/O is the point
+  std::lock_guard<std::mutex> serialize(truncate_mu_);
+  std::vector<std::string> victims;
+  uint64_t new_first_seq = 0;
+  size_t n_victims = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // segments_[i] ends where segments_[i+1] starts; the active segment is
+    // never a victim (it is where appends land, whatever the floor says).
+    while (n_victims + 1 < segments_.size() &&
+           segments_[n_victims + 1].start <= floor) {
+      victims.push_back(WalSegmentFileName(base_, segments_[n_victims].seq));
+      ++n_victims;
+    }
+    if (n_victims == 0) return Status::OK();
+    new_first_seq = segments_[n_victims].seq;
+  }
+  // Hint first, durably: after a crash the chain walk starts at a segment
+  // that still exists (deletes below haven't run, or ran — either way the
+  // floor segment survives). The reverse order could strand a hint that
+  // points below a deleted segment and make the log look fresh.
+  PITREE_RETURN_IF_ERROR(env_->WriteFileAtomic(
+      WalFloorHintFileName(base_), EncodeFloorHint(new_first_seq)));
+  {
+    // Unpublish before deleting so no reader resolves an LSN to a segment
+    // being deleted (their shared handles keep already-resolved reads
+    // safe either way).
+    std::lock_guard<std::mutex> lk(mu_);
+    segments_.erase(segments_.begin(), segments_.begin() + n_victims);
+  }
+  for (const auto& name : victims) {
+    PITREE_RETURN_IF_ERROR(env_->DeleteFile(name));
+    ++*deleted_segments;
+  }
+  return Status::OK();
+}
+
+Status WalSegmentSet::ReaderView::Read(uint64_t offset, size_t n,
+                                       Slice* result, char* scratch) const {
+  size_t got = 0;
+  while (got < n) {
+    std::shared_ptr<File> f;
+    Lsn seg_start = 0;
+    uint64_t payload_limit = 0;
+    bool is_last = false;
+    {
+      std::lock_guard<std::mutex> lk(set_->mu_);
+      const auto& segs = set_->segments_;
+      const Lsn pos = offset + got;
+      if (segs.empty() || pos < segs.front().start) break;
+      // Last segment with start <= pos.
+      size_t i = segs.size() - 1;
+      while (segs[i].start > pos) --i;
+      f = segs[i].file;
+      seg_start = segs[i].start;
+      is_last = i + 1 == segs.size();
+      if (!is_last) payload_limit = segs[i + 1].start - segs[i].start;
+    }
+    const uint64_t off_in_seg = (offset + got) - seg_start;
+    size_t want = n - got;
+    if (!is_last) {
+      if (off_in_seg >= payload_limit) break;  // defensive; unreachable
+      want = static_cast<size_t>(
+          std::min<uint64_t>(want, payload_limit - off_in_seg));
+    }
+    Slice part;
+    PITREE_RETURN_IF_ERROR(f->Read(kWalSegmentHeaderSize + off_in_seg, want,
+                                   &part, scratch + got));
+    if (part.size() > 0 && part.data() != scratch + got) {
+      memmove(scratch + got, part.data(), part.size());
+    }
+    got += part.size();
+    // A short read means end-of-file: end-of-log in the active segment,
+    // and (defensively) scan end if a sealed segment is ever short.
+    if (part.size() < want) break;
+  }
+  *result = Slice(scratch, got);
+  return Status::OK();
+}
+
+uint64_t WalSegmentSet::ReaderView::Size() const {
+  std::shared_ptr<File> f;
+  Lsn start = 0;
+  {
+    std::lock_guard<std::mutex> lk(set_->mu_);
+    if (set_->segments_.empty()) return 0;
+    f = set_->segments_.back().file;
+    start = set_->segments_.back().start;
+  }
+  uint64_t sz = f->Size();
+  return start + (sz > kWalSegmentHeaderSize ? sz - kWalSegmentHeaderSize : 0);
+}
+
+}  // namespace pitree

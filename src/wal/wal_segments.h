@@ -1,0 +1,150 @@
+#ifndef PITREE_WAL_WAL_SEGMENTS_H_
+#define PITREE_WAL_WAL_SEGMENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "env/env.h"
+
+namespace pitree {
+
+/// Fixed-size header at the front of every WAL segment file:
+///   magic "PiWLSEG1" (8) | version fixed32 | seq fixed64 |
+///   start_lsn fixed64 | crc32c of the preceding 28 bytes (masked)
+/// A record at global LSN L lives in the segment with the largest
+/// start_lsn <= L, at file offset kWalSegmentHeaderSize + (L - start_lsn).
+inline constexpr size_t kWalSegmentHeaderSize = 32;
+
+/// Segment roll threshold used when Options::wal_segment_bytes is 0.
+inline constexpr uint64_t kDefaultWalSegmentBytes = 8u << 20;
+
+/// "<base>.000001", "<base>.000002", ... (decimal, zero-padded, so the
+/// lexicographic order of names is the log order).
+std::string WalSegmentFileName(const std::string& base, uint64_t seq);
+
+/// "<base>.floor" — the truncation hint naming the first live segment.
+std::string WalFloorHintFileName(const std::string& base);
+
+std::string EncodeWalSegmentHeader(uint64_t seq, Lsn start_lsn);
+Status DecodeWalSegmentHeader(Slice in, uint64_t* seq, Lsn* start_lsn);
+
+/// The numbered-segment representation of one logical WAL.
+///
+/// LSNs stay global byte offsets of the record stream — exactly the values
+/// a single-file log would assign — so nothing above the WAL ever sees
+/// segment boundaries. `reader_view()` is a read-only File whose offsets
+/// ARE global LSNs; it stitches reads across sealed segments, which keeps
+/// LogReader, ReadRecord and MakeDurableScanner byte-compatible with the
+/// single-file log.
+///
+/// Write-side contract: WriteAt/SyncActive/TruncateActiveTo/RollIfNeeded
+/// are called only by the (single) group-commit flush leader, and a roll
+/// happens only at a durable batch boundary — so no frame ever spans two
+/// segments and every sealed segment is fully durable. TruncateBelow runs
+/// on the checkpointer thread concurrently with everything else; the
+/// internal mutex guards only the segment table, never file I/O.
+class WalSegmentSet {
+ public:
+  WalSegmentSet() = default;
+  WalSegmentSet(const WalSegmentSet&) = delete;
+  WalSegmentSet& operator=(const WalSegmentSet&) = delete;
+
+  /// Discovers the segment chain under `base`: reads the floor hint (absent
+  /// = segment 1), probes seq upward, validates each header and the
+  /// start-LSN chain. A trailing segment whose header never became durable
+  /// (a torn roll) holds no reachable records: read-write mode deletes it,
+  /// read-only mode ignores it. Read-write mode creates segment 1 for a
+  /// fresh log and removes segments leaked below the hint by a crash
+  /// between the hint write and the deletes; read-only mode (the crash
+  /// harness inspecting an image) never mutates the env and reports a
+  /// fresh/empty log as an empty set.
+  Status Open(Env* env, const std::string& base, bool read_only);
+
+  /// Read-only global-offset view for LogReader. Reads below floor_lsn()
+  /// or past the last byte return short (end-of-log to the reader).
+  const File* reader_view() const { return &reader_view_; }
+
+  bool empty() const;
+  Lsn floor_lsn() const;        // start LSN of the first live segment
+  Lsn last_start_lsn() const;   // start LSN of the active segment
+  uint64_t segment_count() const;
+  uint64_t disk_bytes() const;  // sum of segment file sizes (headers incl.)
+
+  // --- flush-leader-only operations ---
+
+  /// Writes `data` into the active segment at global offset `offset`
+  /// (>= last_start_lsn(); the roll-at-batch-boundary invariant guarantees
+  /// a batch never crosses into a sealed segment).
+  Status WriteAt(Lsn offset, const Slice& data);
+  Status SyncActive();
+
+  /// Drops any bytes of the active segment past global offset `end`
+  /// (torn-tail cleanup at open).
+  Status TruncateActiveTo(Lsn end);
+
+  /// Seals the active segment and starts the next one when its payload has
+  /// reached `segment_bytes`. `end` must be the durable end of the log (the
+  /// new segment starts there). A failed roll is retried after the next
+  /// batch; the error is returned for accounting but appends are unharmed.
+  Status RollIfNeeded(Lsn end, uint64_t segment_bytes);
+
+  // --- checkpointer operation ---
+
+  /// Deletes every segment wholly below `floor`, always keeping the active
+  /// segment. The floor hint is durably rewritten *before* any delete, so
+  /// a crash mid-truncation leaves at worst leaked segments below the hint
+  /// (cleaned up at the next open), never a hint pointing at a missing
+  /// segment. Serialized internally; safe against concurrent readers (they
+  /// hold shared file handles) and the flush leader (which only touches the
+  /// active segment).
+  Status TruncateBelow(Lsn floor, uint64_t* deleted_segments);
+
+ private:
+  struct Segment {
+    uint64_t seq = 0;
+    Lsn start = 0;
+    std::shared_ptr<File> file;
+  };
+
+  class ReaderView : public File {
+   public:
+    explicit ReaderView(const WalSegmentSet* set) : set_(set) {}
+    Status Read(uint64_t offset, size_t n, Slice* result,
+                char* scratch) const override;
+    Status Write(uint64_t, const Slice&) override {
+      return Status::IOError("wal segment reader view is read-only");
+    }
+    Status Sync() override {
+      return Status::IOError("wal segment reader view is read-only");
+    }
+    Status Truncate(uint64_t) override {
+      return Status::IOError("wal segment reader view is read-only");
+    }
+    uint64_t Size() const override;
+
+   private:
+    const WalSegmentSet* set_;
+  };
+
+  Status CreateSegment(uint64_t seq, Lsn start, Segment* out);
+
+  Env* env_ = nullptr;
+  std::string base_;
+  bool read_only_ = false;
+
+  mutable std::mutex mu_;       // guards segments_ only (never held over I/O)
+  std::vector<Segment> segments_;  // ascending seq/start; back() is active
+  std::mutex truncate_mu_;      // serializes TruncateBelow callers
+
+  ReaderView reader_view_{this};
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_WAL_WAL_SEGMENTS_H_

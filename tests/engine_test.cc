@@ -109,6 +109,32 @@ TEST(CheckpointCodecTest, RejectsTruncation) {
   EXPECT_FALSE(DecodeCheckpoint(encoded, &decoded).ok());
 }
 
+TEST(CheckpointCodecTest, RejectsTrailingBytes) {
+  // A decode that stops early (stale counts, a mis-sized varint) would
+  // silently accept a mangled record; any leftover byte must be Corruption.
+  CheckpointData data;
+  data.att.push_back({42, true, 1000, 900, false, 800});
+  data.dpt.emplace_back(7, 500);
+  std::string encoded = EncodeCheckpoint(data);
+  encoded.push_back('x');
+  CheckpointData decoded;
+  EXPECT_TRUE(DecodeCheckpoint(encoded, &decoded).IsCorruption());
+}
+
+TEST(CheckpointCodecTest, RoundTripsFirstLsn) {
+  // first_lsn feeds the WAL truncation floor; losing it in the codec would
+  // let truncation delete log a crash undo still needs.
+  CheckpointData data;
+  data.att.push_back({42, false, 1000, 900, false, 777});
+  data.att.push_back({43, false, 2000, 0, true});  // defaulted: unknown
+  std::string encoded = EncodeCheckpoint(data);
+  CheckpointData decoded;
+  ASSERT_TRUE(DecodeCheckpoint(encoded, &decoded).ok());
+  ASSERT_EQ(decoded.att.size(), 2u);
+  EXPECT_EQ(decoded.att[0].first_lsn, 777u);
+  EXPECT_EQ(decoded.att[1].first_lsn, kInvalidLsn);
+}
+
 class EngineFixture : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "db/database.h"
 #include "recovery/checkpoint.h"
 #include "wal/log_reader.h"
+#include "wal/wal_segments.h"
 
 namespace pitree {
 namespace harness {
@@ -50,6 +52,9 @@ Options WorkloadOptions(const ExplorerConfig& cfg) {
   opts.page_oriented_undo = false;
   opts.maintenance_workers = cfg.maintenance_workers;
   opts.inline_completion = cfg.maintenance_workers == 0;
+  opts.checkpoint_interval_ms = cfg.checkpoint_interval_ms;
+  opts.checkpoint_log_bytes = cfg.checkpoint_log_bytes;
+  opts.wal_segment_bytes = cfg.wal_segment_bytes;
   // A pool large enough that data pages are never evicted mid-run: the data
   // file then only changes through explicit flushes (checkpoint, shutdown),
   // keeping the event journal — and so the crash-state space — compact.
@@ -192,6 +197,21 @@ Options WorkloadOptions(const ExplorerConfig& cfg) {
     }
   }
 
+  // Checkpointer regime: the recorded journal must contain segment
+  // deletions, or the explorer proves nothing about truncation. The
+  // workload above appended far more log than the checkpoint byte budget,
+  // so the background thread WILL truncate once it gets CPU — but under a
+  // loaded machine (parallel test jobs) it can be starved past the whole
+  // workload. Wait for it here, before the loser transaction below opens
+  // and pins the floor at its own kBegin. Bounded so a genuinely stuck
+  // checkpointer still fails the caller's deletions>0 assertion.
+  if (cfg.checkpoint_interval_ms > 0 || cfg.checkpoint_log_bytes > 0) {
+    for (int i = 0; i < 10000; ++i) {
+      if (db->wal_stats().truncated_segments > 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
   // The loser: a multi-op transaction still in flight at every crash point.
   // Its updates are made durable (FlushAll) without a commit record, so
   // recovery must undo them — including any splits they triggered, which as
@@ -232,6 +252,12 @@ void MaterializeCrashImage(const std::vector<SyncEvent>& events, size_t n,
                            const TornVariant* torn, SimEnv* env) {
   std::map<std::string, std::string> images;
   auto apply = [&images](const SyncEvent& ev) {
+    if (ev.deleted) {
+      // Deletion (WAL segment truncation) is durable when journaled: every
+      // later crash image lacks the file.
+      images.erase(ev.file);
+      return;
+    }
     std::string& img = images[ev.file];
     if (ev.atomic_replace) {
       img = ev.bytes;
@@ -246,9 +272,10 @@ void MaterializeCrashImage(const std::vector<SyncEvent>& events, size_t n,
 
   if (torn != nullptr && n < events.size()) {
     const SyncEvent& ev = events[n];
-    // Atomic replacements cannot tear by contract (write + sync + rename);
-    // only an in-place event has an in-flight range to tear.
-    if (!ev.atomic_replace && !ev.bytes.empty()) {
+    // Atomic replacements cannot tear by contract (write + sync + rename),
+    // and a deletion has no byte range; only an in-place event has an
+    // in-flight range to tear.
+    if (!ev.atomic_replace && !ev.deleted && !ev.bytes.empty()) {
       std::string& img = images[ev.file];
       size_t keep = static_cast<size_t>(
           std::min<uint64_t>(torn->keep_bytes, ev.bytes.size()));
@@ -269,13 +296,17 @@ void MaterializeCrashImage(const std::vector<SyncEvent>& events, size_t n,
   }
 }
 
-Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file) {
-  if (!env->FileExists(wal_file)) return 0;
-  std::unique_ptr<File> f;
-  if (!env->OpenFile(wal_file, &f).ok()) return 0;
-  LogReader reader(f.get(), 0, /*read_ahead=*/64 << 10);
+Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_base) {
+  // Inspect mode: mount whatever segments the image retains without
+  // repairing anything. Truncated history shortens the scan from below
+  // (floor); the valid-record walk still finds the torn tail from above.
+  WalSegmentSet set;
+  if (!set.Open(env, wal_base, /*read_only=*/true).ok()) return 0;
+  if (set.empty()) return 0;
+  LogReader reader(set.reader_view(), set.floor_lsn(),
+                   /*read_ahead=*/64 << 10);
   LogRecord rec;
-  Lsn end = 0;
+  Lsn end = set.floor_lsn();
   while (reader.ReadNext(&rec).ok()) end = reader.offset();
   return end;
 }
@@ -292,13 +323,15 @@ namespace {
                                             uint64_t* max_commit_ts,
                                             const std::string& label) {
   *max_commit_ts = 0;
-  if (!env->FileExists(kWalFile)) return ::testing::AssertionSuccess();
-  std::unique_ptr<File> f;
-  if (!env->OpenFile(kWalFile, &f).ok()) {
-    return ::testing::AssertionFailure()
-           << label << ": cannot reopen wal for commit-ts audit";
+  WalSegmentSet set;
+  if (!set.Open(env, kWalFile, /*read_only=*/true).ok() || set.empty()) {
+    return ::testing::AssertionSuccess();
   }
-  LogReader reader(f.get(), 0, /*read_ahead=*/64 << 10);
+  // Commit records truncated away with their segments are covered by the
+  // surviving checkpoint-end's oracle high-water, which the loop below
+  // still folds in.
+  LogReader reader(set.reader_view(), set.floor_lsn(),
+                   /*read_ahead=*/64 << 10);
   LogRecord rec;
   uint64_t prev = 0;
   while (reader.ReadNext(&rec).ok() && reader.offset() <= prefix_end) {
@@ -439,6 +472,10 @@ namespace {
   Options opts = WorkloadOptions(cfg);
   opts.maintenance_workers = 0;
   opts.inline_completion = true;
+  // The oracle's reopen must verify a fixed image deterministically: no
+  // background checkpointer mutating the WAL underneath the checks.
+  opts.checkpoint_interval_ms = 0;
+  opts.checkpoint_log_bytes = 0;
   std::unique_ptr<Database> db;
   Status s = Database::Open(opts, env, kDbName, &db);
   if (!s.ok()) {
@@ -463,6 +500,9 @@ namespace {
   Options opts = WorkloadOptions(cfg);
   opts.maintenance_workers = 0;
   opts.inline_completion = true;
+  // Deterministic verification (see CheckPostRecoveryOracle).
+  opts.checkpoint_interval_ms = 0;
+  opts.checkpoint_log_bytes = 0;
   opts.instant_restore = true;
   opts.recovery_sweeper = true;
   // Pace the sweeper so the map stays populated while the traffic below

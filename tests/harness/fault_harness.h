@@ -50,6 +50,16 @@ struct ExplorerConfig {
   int threads = 2;
   int keys_per_thread = 60;
   size_t maintenance_workers = 2;
+  /// Continuous-checkpointer knobs for the workload run (0 = off, matching
+  /// Options). When enabled the run takes fuzzy checkpoints concurrently
+  /// with the writers and *truncates* WAL segments — the journal then
+  /// contains deletion events, and every materialized crash image lacks the
+  /// truncated segments, so a green oracle proves recovery never needed
+  /// them. The oracle's own reopen always runs with the checkpointer off
+  /// (verification must be deterministic).
+  uint64_t checkpoint_interval_ms = 0;
+  uint64_t checkpoint_log_bytes = 0;
+  uint64_t wal_segment_bytes = 0;
 };
 
 /// What the oracle may assert about a key at WAL prefix E.
@@ -85,7 +95,10 @@ void MaterializeCrashImage(const std::vector<SyncEvent>& events, size_t n,
                            const TornVariant* torn, SimEnv* env);
 
 /// End of the valid record prefix of the image's WAL (0 when absent/empty).
-Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_file);
+/// `wal_base` is the segment base name ("db.wal"); the scan starts at the
+/// floor of the segments the image retains, so truncated history simply
+/// shortens it from below.
+Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_base);
 
 /// Phase 3, the post-recovery oracle: recovery must succeed; every
 /// provably-durable committed op is reflected (inserted keys present,

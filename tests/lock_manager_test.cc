@@ -10,11 +10,16 @@
 namespace pitree {
 namespace {
 
+// Prvalue return: Transaction is immovable (atomic undo-chain fields), so
+// guaranteed elision must construct it directly in the caller. The
+// designated initializer deliberately leaves the remaining members to
+// their defaults.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
 Transaction MakeTxn(TxnId id) {
-  Transaction t;
-  t.id = id;
-  return t;
+  return Transaction{.id = id};
 }
+#pragma GCC diagnostic pop
 
 TEST(LockModeTest, CompatibilityMatrixMatchesPaper) {
   using M = LockMode;

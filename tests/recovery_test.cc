@@ -25,6 +25,7 @@
 #include "env/sim_env.h"
 #include "recovery/checkpoint.h"
 #include "wal/log_reader.h"
+#include "wal/wal_segments.h"
 
 namespace pitree {
 namespace {
@@ -113,9 +114,14 @@ TEST_P(CrashTortureTest, EveryLogPrefixRecoversToConsistentState) {
                    // freed at process exit (destructor would try to log)
   }
 
-  // ---- Phase 2: enumerate record boundaries of the captured log.
+  // ---- Phase 2: enumerate record boundaries of the captured log. The
+  // workload stays inside segment 1, so the record bytes are the segment
+  // file minus its 32-byte header (global LSN == payload offset).
   std::string wal_bytes;
-  ASSERT_TRUE(env.ReadFileToString("db.wal", &wal_bytes).ok());
+  ASSERT_TRUE(
+      env.ReadFileToString(WalSegmentFileName("db.wal", 1), &wal_bytes).ok());
+  ASSERT_GE(wal_bytes.size(), kWalSegmentHeaderSize);
+  wal_bytes.erase(0, kWalSegmentHeaderSize);
   std::vector<Lsn> boundaries;
   {
     SimEnv scratch;
@@ -135,10 +141,10 @@ TEST_P(CrashTortureTest, EveryLogPrefixRecoversToConsistentState) {
   for (size_t bi = 0; bi < boundaries.size(); bi += stride, ++tested) {
     Lsn prefix = boundaries[bi];
     SimEnv trial;
-    ASSERT_TRUE(trial
-                    .WriteFileAtomic("db.wal",
-                                     Slice(wal_bytes.data(), prefix))
-                    .ok());
+    std::string seg = EncodeWalSegmentHeader(1, 0);
+    seg.append(wal_bytes.data(), prefix);
+    ASSERT_TRUE(
+        trial.WriteFileAtomic(WalSegmentFileName("db.wal", 1), seg).ok());
     RecoveryStats stats;
     std::unique_ptr<Database> db;
     ASSERT_TRUE(Database::Open(MakeOptions(), &trial, "db", &db, &stats).ok())
@@ -497,7 +503,7 @@ TEST_F(RecoveryTest, LazyRedoIsIdempotentAndMatchesOffline) {
   // Clone the crash image so the offline and instant recoveries each work
   // on their own copy of the exact same durable state.
   SimEnv env2;
-  for (const char* f : {"db.db", "db.wal", "db.master"}) {
+  for (const char* f : {"db.db", "db.wal.000001", "db.master"}) {
     if (!env_.FileExists(f)) continue;
     std::string bytes;
     ASSERT_TRUE(env_.ReadFileToString(f, &bytes).ok());
@@ -639,9 +645,8 @@ TEST_F(RecoveryTest, CheckpointRecLsnSurvivesInWindowUpdate) {
     Lsn end_lsn;
     ASSERT_TRUE(wal->Append(end, &end_lsn).ok());
     ASSERT_TRUE(wal->FlushAll().ok());
-    std::string master;
-    PutFixed64(&master, begin_lsn);
-    ASSERT_TRUE(env_.WriteFileAtomic("db.master", master).ok());
+    ASSERT_TRUE(
+        env_.WriteFileAtomic("db.master", EncodeMasterRecord(begin_lsn)).ok());
     env_.Crash();
     db.release();
   }

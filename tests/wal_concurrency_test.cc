@@ -21,6 +21,7 @@
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
 #include "wal/wal_manager.h"
+#include "wal/wal_segments.h"
 
 namespace pitree {
 namespace {
@@ -136,9 +137,9 @@ void RunPipelineStorm(uint64_t window_us) {
 
   // Every append must be durable exactly once, in offset order.
   std::sort(lsns.begin(), lsns.end());
-  std::unique_ptr<File> f;
-  ASSERT_TRUE(env.OpenFile("wal", &f).ok());
-  LogReader file_reader(f.get());
+  WalSegmentSet view;
+  ASSERT_TRUE(view.Open(&env, "wal", /*read_only=*/true).ok());
+  LogReader file_reader(view.reader_view());
   LogRecord rec;
   size_t i = 0;
   Status s;

@@ -10,9 +10,15 @@
 #include "wal/log_reader.h"
 #include "wal/log_record.h"
 #include "wal/wal_manager.h"
+#include "wal/wal_segments.h"
 
 namespace pitree {
 namespace {
+
+/// These tests never roll past the first 8 MiB segment, so raw-file
+/// surgery targets segment 1 and a global LSN maps to file offset
+/// lsn + kWalSegmentHeaderSize.
+std::string Seg1() { return WalSegmentFileName("wal", 1); }
 
 LogRecord MakeUpdate(TxnId txn, Lsn prev, PageId page, const std::string& redo,
                      const std::string& undo) {
@@ -107,9 +113,9 @@ TEST_F(WalTest, ReadBackAfterFlush) {
   ASSERT_TRUE(wal_.Append(MakeUpdate(1, a, 2, "redo", "undo"), &b).ok());
   ASSERT_TRUE(wal_.FlushAll().ok());
 
-  std::unique_ptr<File> f;
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  LogReader reader(f.get());
+  WalSegmentSet view;
+  ASSERT_TRUE(view.Open(&env_, "wal", /*read_only=*/true).ok());
+  LogReader reader(view.reader_view());
   LogRecord rec;
   ASSERT_TRUE(reader.ReadNext(&rec).ok());
   EXPECT_EQ(rec.type, LogRecordType::kBegin);
@@ -139,9 +145,9 @@ TEST_F(WalTest, CrashLosesUnflushedRecords) {
   // No flush of b.
   env_.Crash();
 
-  std::unique_ptr<File> f;
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  LogReader reader(f.get());
+  WalSegmentSet view;
+  ASSERT_TRUE(view.Open(&env_, "wal", /*read_only=*/true).ok());
+  LogReader reader(view.reader_view());
   LogRecord rec;
   ASSERT_TRUE(reader.ReadNext(&rec).ok());
   EXPECT_EQ(rec.lsn, a);
@@ -156,8 +162,8 @@ TEST_F(WalTest, ReopenPositionsAfterValidPrefixAndIgnoresTornTail) {
 
   // Simulate a torn write: garbage bytes beyond the valid prefix.
   std::unique_ptr<File> f;
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  ASSERT_TRUE(f->Write(end, "torn-garbage-bytes").ok());
+  ASSERT_TRUE(env_.OpenFile(Seg1(), &f).ok());
+  ASSERT_TRUE(f->Write(end + kWalSegmentHeaderSize, "torn-garbage").ok());
   ASSERT_TRUE(f->Sync().ok());
 
   WalManager wal2;
@@ -168,8 +174,9 @@ TEST_F(WalTest, ReopenPositionsAfterValidPrefixAndIgnoresTornTail) {
   Lsn b;
   ASSERT_TRUE(wal2.Append(MakeCommit(1, a), &b).ok());
   ASSERT_TRUE(wal2.FlushAll().ok());
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  LogReader reader(f.get());
+  WalSegmentSet view;
+  ASSERT_TRUE(view.Open(&env_, "wal", /*read_only=*/true).ok());
+  LogReader reader(view.reader_view());
   LogRecord rec;
   ASSERT_TRUE(reader.ReadNext(&rec).ok());
   ASSERT_TRUE(reader.ReadNext(&rec).ok());
@@ -189,12 +196,13 @@ TEST_F(WalTest, TornFinalRecordCrcMismatchIsEndOfLog) {
 
   // Flip one payload byte inside the final (commit) record.
   std::unique_ptr<File> f;
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
+  ASSERT_TRUE(env_.OpenFile(Seg1(), &f).ok());
+  const uint64_t off = c + 9 + kWalSegmentHeaderSize;
   char scratch[1];
   Slice got;
-  ASSERT_TRUE(f->Read(c + 9, 1, &got, scratch).ok());
+  ASSERT_TRUE(f->Read(off, 1, &got, scratch).ok());
   char flipped = static_cast<char>(scratch[0] ^ 0x40);
-  ASSERT_TRUE(f->Write(c + 9, Slice(&flipped, 1)).ok());
+  ASSERT_TRUE(f->Write(off, Slice(&flipped, 1)).ok());
   ASSERT_TRUE(f->Sync().ok());
 
   WalManager wal2;
@@ -206,8 +214,9 @@ TEST_F(WalTest, TornFinalRecordCrcMismatchIsEndOfLog) {
   Lsn c2;
   ASSERT_TRUE(wal2.Append(MakeCommit(1, b), &c2).ok());
   ASSERT_TRUE(wal2.FlushAll().ok());
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  LogReader reader(f.get());
+  WalSegmentSet view;
+  ASSERT_TRUE(view.Open(&env_, "wal", /*read_only=*/true).ok());
+  LogReader reader(view.reader_view());
   LogRecord rec;
   ASSERT_TRUE(reader.ReadNext(&rec).ok());
   EXPECT_EQ(rec.lsn, a);
@@ -227,8 +236,8 @@ TEST_F(WalTest, TailCutMidHeaderIsEndOfLog) {
   ASSERT_TRUE(wal_.FlushAll().ok());
 
   std::unique_ptr<File> f;
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  ASSERT_TRUE(f->Truncate(b + 4).ok());
+  ASSERT_TRUE(env_.OpenFile(Seg1(), &f).ok());
+  ASSERT_TRUE(f->Truncate(b + 4 + kWalSegmentHeaderSize).ok());
   ASSERT_TRUE(f->Sync().ok());
 
   WalManager wal2;
@@ -307,9 +316,9 @@ TEST_F(WalTest, ManyRecordsRoundTrip) {
     prev = lsn;
   }
   ASSERT_TRUE(wal_.FlushAll().ok());
-  std::unique_ptr<File> f;
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  LogReader reader(f.get());
+  WalSegmentSet view;
+  ASSERT_TRUE(view.Open(&env_, "wal", /*read_only=*/true).ok());
+  LogReader reader(view.reader_view());
   LogRecord rec;
   for (int i = 0; i < 500; ++i) {
     ASSERT_TRUE(reader.ReadNext(&rec).ok()) << i;
@@ -434,9 +443,9 @@ TEST_F(WalTest, SeekSupportsChainWalking) {
   ASSERT_TRUE(wal_.Append(MakeUpdate(3, b, 1, "r2", "u2"), &c).ok());
   ASSERT_TRUE(wal_.FlushAll().ok());
 
-  std::unique_ptr<File> f;
-  ASSERT_TRUE(env_.OpenFile("wal", &f).ok());
-  LogReader reader(f.get());
+  WalSegmentSet view;
+  ASSERT_TRUE(view.Open(&env_, "wal", /*read_only=*/true).ok());
+  LogReader reader(view.reader_view());
   LogRecord rec;
   reader.Seek(c);
   ASSERT_TRUE(reader.ReadNext(&rec).ok());

@@ -12,7 +12,11 @@ bad path; the lint catches the pattern at review time:
                     held across Env I/O — drop via .Unlock()/.unlock()
                     first. (Guards received as function parameters are the
                     caller's responsibility; the runtime checker covers
-                    those.)
+                    those.) A slow-path serialization mutex whose purpose
+                    is to span its I/O (one checkpoint / one truncation at
+                    a time) may be exempted with a
+                    `lint:allow-mutex-io -- <reason>` comment on its
+                    declaration line or the line directly above it.
 
   naked-latch       A src/ file calling Latch::Acquire*/TryAcquire*
                     directly must declare its latching discipline with a
@@ -103,15 +107,21 @@ _IO = re.compile(
     r'\b(?:ReadPage|WritePage|ReadFileToString|WriteFileAtomic'
     r'|DoRead|DoWrite|DoSync|DoEnsureDurable)\s*\(')
 _IO_MEMBER = re.compile(r'->Sync\s*\(')
+_ALLOW_MUTEX_IO = re.compile(r'lint:allow-mutex-io\s*--\s*\S')
 
 
 def check_mutex_across_io(path, text):
     findings = []
+    # Markers live in comments, which strip_code_lines blanks — collect the
+    # exempted declaration lines from the raw text first.
+    allowed = {lineno
+               for lineno, line in enumerate(text.splitlines(), start=1)
+               if _ALLOW_MUTEX_IO.search(line)}
     guards = []  # [depth_at_construction, varname, held?]
     depth = 0
     for lineno, line in strip_code_lines(text):
         m = _GUARD.search(line)
-        if m:
+        if m and lineno not in allowed and (lineno - 1) not in allowed:
             guards.append([depth, m.group(1), True])
         for g in guards:
             if re.search(r'\b%s\s*\.\s*[Uu]nlock\s*\(' % re.escape(g[1]),
@@ -234,6 +244,13 @@ _SELF_TESTS = [
        std::unique_lock<std::mutex> lk(mu_);
        lk.unlock();
        return ReadPage(id, buf);
+     }''', 0),
+    ('mutex-across-io quiet with an exemption marker',
+     check_mutex_across_io,
+     '''Status Checkpointer::TakeGood() {
+       // lint:allow-mutex-io -- seeded self-test
+       std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+       return env_->WriteFileAtomic(master_path_, rec);
      }''', 0),
     ('mutex-across-io quiet after guard scope closes',
      check_mutex_across_io,
