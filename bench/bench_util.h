@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "db/database.h"
@@ -86,6 +87,29 @@ inline double Percentile(std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0;
   size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
   return sorted[idx];
+}
+
+/// hardware_concurrency with the zero-means-unknown case pinned to 1 so
+/// callers can divide by it; JSON artifacts record it so scaling claims
+/// can be judged against the box they ran on.
+inline unsigned HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Scaling numbers taken with more workers than cores measure the
+/// scheduler, not the protocol under test. Runs still proceed (CI boxes
+/// are small and the shape is still informative) but the oversubscription
+/// is called out so nobody quotes those rows as core-scaling.
+inline void WarnIfOversubscribed(int threads) {
+  const unsigned hw = HardwareThreads();
+  if (static_cast<unsigned>(threads) > hw) {
+    fprintf(stderr,
+            "WARNING: %d worker threads on %u hardware threads - "
+            "oversubscribed; throughput at this point reflects scheduling, "
+            "not protocol scaling\n",
+            threads, hw);
+  }
 }
 
 }  // namespace bench

@@ -451,11 +451,30 @@ void ClearWaitAndHoldLocked(Checker* c, ThreadState* ts, const void* addr,
   AddHoldLocked(c, ts, addr, id, mode);
 }
 
+// ---- optimistic-section state (DESIGN.md §15) -----------------------------
+// Per-thread because the discipline is per-thread: the depth counts open
+// EpochGuard sections; the pending flag marks a staged copy-out whose
+// version-word validation has not run yet.
+thread_local uint32_t t_opt_depth = 0;
+thread_local bool t_opt_copy_unvalidated = false;
+
+void CheckNotInOptimisticSection(const char* what) {
+  if (t_opt_depth == 0) return;
+  std::string detail = "blocking ";
+  detail += what;
+  detail +=
+      " issued inside an optimistic/epoch section: a parked reader stalls "
+      "every frame reclaimer's grace period — validate, exit the section, "
+      "then fall back to the pinned+latched path";
+  Report("optimistic discipline violation", detail);
+}
+
 }  // namespace
 
 // ---- latch hooks ----------------------------------------------------------
 
 void OnLatchAcquiring(Latch* l, LatchMode mode) {
+  CheckNotInOptimisticSection("latch acquire");
   const char* verb = mode == LatchMode::kShared    ? "blocking S acquire of"
                      : mode == LatchMode::kUpdate  ? "blocking U acquire of"
                                                    : "blocking X acquire of";
@@ -564,6 +583,7 @@ void OnLatchDemoted(Latch* l) {
 // ---- engine mutex hooks ---------------------------------------------------
 
 void OnMutexAcquiring(const void* addr, Rank rank) {
+  CheckNotInOptimisticSection("mutex acquire");
   CheckOrder(addr, MutexId(rank), HoldMode::kMutex, "blocking acquire of");
 }
 
@@ -586,7 +606,40 @@ void OnMutexReleased(const void* addr, Rank rank) {
 
 // ---- lock-manager hooks ---------------------------------------------------
 
+// ---- optimistic (OLC) section hooks ---------------------------------------
+
+void OnOptimisticEnter() { ++t_opt_depth; }
+
+void OnOptimisticExit() {
+  if (t_opt_depth == 0) {
+    Report("optimistic discipline violation",
+           "epoch section exit with no section open (unbalanced "
+           "EpochGuard hooks)");
+  }
+  if (t_opt_copy_unvalidated) {
+    Report("optimistic discipline violation",
+           "epoch section ended with a copied-out page image never "
+           "validated against its version word (validate-before-use)");
+  }
+  --t_opt_depth;
+}
+
+void OnOptimisticCopy() {
+  if (t_opt_depth == 0) {
+    Report("optimistic discipline violation",
+           "optimistic copy-out of frame bytes with no epoch section open "
+           "(nothing stops the frame's bytes from being recycled mid-copy)");
+  }
+  t_opt_copy_unvalidated = true;
+}
+
+void OnOptimisticValidated(bool ok) {
+  (void)ok;  // a failed validate still discharges the copy: it is discarded
+  t_opt_copy_unvalidated = false;
+}
+
 void OnLockBlockingRequest(const char* resource) {
+  CheckNotInOptimisticSection("lock-manager request");
   ThreadState* ts = Tls();
   if (ts->holds.empty()) return;
   std::string detail = "blocking lock-manager wait on \"";

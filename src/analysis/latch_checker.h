@@ -58,6 +58,19 @@ void OnMutexBlocked(const void* addr, Rank rank);    // try_lock failed
 void OnMutexAcquired(const void* addr, Rank rank);   // after lock()
 void OnMutexReleased(const void* addr, Rank rank);   // before unlock()
 
+// ---- optimistic (OLC) section hooks ---------------------------------------
+// The optimistic discipline (DESIGN.md §15): inside an epoch section a
+// thread may not issue any blocking latch/mutex/lock acquire (a parked
+// reader would stall every reclaimer's grace period), and a staged copy-out
+// of frame bytes must be validated against its version word before the
+// section ends (validate-before-use). Enter/Exit are called by EpochGuard
+// on the outermost transitions; Copy/Validated by the pool's copy-out and
+// Latch::Validate.
+void OnOptimisticEnter();
+void OnOptimisticExit();
+void OnOptimisticCopy();
+void OnOptimisticValidated(bool ok);
+
 // ---- lock-manager hooks ---------------------------------------------------
 void OnLockBlockingRequest(const char* resource);  // Lock(wait=true) entry
 void OnLockWaitBegin(const char* resource);        // under lock-mgr mu_
@@ -96,6 +109,10 @@ inline void OnMutexAcquiring(const void*, Rank) {}
 inline void OnMutexBlocked(const void*, Rank) {}
 inline void OnMutexAcquired(const void*, Rank) {}
 inline void OnMutexReleased(const void*, Rank) {}
+inline void OnOptimisticEnter() {}
+inline void OnOptimisticExit() {}
+inline void OnOptimisticCopy() {}
+inline void OnOptimisticValidated(bool) {}
 inline void OnLockBlockingRequest(const char*) {}
 inline void OnLockWaitBegin(const char*) {}
 inline void OnLockWaitEnd() {}

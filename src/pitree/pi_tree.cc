@@ -1,11 +1,13 @@
 #include "pitree/pi_tree.h"
 
 #include <cassert>
+#include <memory>
 
 #include "analysis/latch_checker.h"
 #include "common/coding.h"
 #include "engine/log_apply.h"
 #include "maintenance/maintenance_service.h"
+#include "storage/epoch.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
 #include "wal/wal_manager.h"
@@ -391,6 +393,135 @@ Status PiTree::ExecuteJob(const CompletionJob& job) {
 }
 
 // ---------------------------------------------------------------------------
+// Optimistic (latch-free) point lookup — DESIGN.md §15
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Attempts before giving up on the optimistic regime for this call. Each
+/// attempt restarts from the root, so retrying past a few failures just
+/// delays the guaranteed-progress latched path.
+constexpr int kOptimisticRetries = 3;
+/// Hop budget per attempt (child descents + side/history hops). The latched
+/// traversal has no bound because latches guarantee progress; a validated
+/// copy chain can in principle chase a moving frontier forever.
+constexpr int kOptimisticHopLimit = 64;
+
+/// Per-thread page-image scratch for copy-out reads. One page suffices:
+/// the descent fully consumes the parent copy (extracts the next PageId)
+/// before overwriting it with the child.
+char* OptimisticScratch() {
+  static thread_local std::unique_ptr<char[]> buf(new char[kPageSize]);
+  return buf.get();
+}
+}  // namespace
+
+Status PiTree::TryGetOptimisticOnce(OpCtx* op, const Slice& key,
+                                    std::string* value) {
+  BufferPool* pool = ctx_->pool;
+  char* buf = OptimisticScratch();
+  // Side hops crossed during the descent: possibly-unposted splits whose
+  // completion hints must be scheduled *after* the epoch section closes
+  // (SchedulePosting probes the lock manager, a blocking mutex).
+  struct SideHop {
+    uint8_t level;
+    PageId from;
+    PageId sibling;
+  };
+  std::vector<SideHop> side_hops;
+  PageId leaf_pid = kInvalidPageId;
+  Status result;
+  {
+    EpochGuard epoch;
+    if (!epoch.active()) return Status::Busy("epoch slots exhausted");
+
+    OptimisticPage cur;
+    if (!pool->FetchOptimistic(root_, &cur)) {
+      return Status::Busy("root not optimistically resident");
+    }
+    if (!pool->ReadConsistent(cur, buf)) {
+      return Status::Busy("root copy did not validate");
+    }
+    int hop = 0;
+    for (;; ++hop) {
+      if (hop >= kOptimisticHopLimit) {
+        return Status::Busy("optimistic hop limit exceeded");
+      }
+      // The copy is validated (a real page state), but the route to it may
+      // be stale; any structural surprise aborts to the latched path rather
+      // than reasoning about it latch-free.
+      if (PageGetType(buf) != PageType::kTreeNode) {
+        return Status::Busy("optimistic copy is not a tree node");
+      }
+      NodeRef node(buf);
+      if (node.is_deallocated() || !node.AtOrAboveLow(key)) {
+        return Status::Busy("optimistic copy does not cover key");
+      }
+      PageId next;
+      if (!node.BelowHigh(key)) {
+        next = node.right_sibling();  // B-link side hop (§5.1)
+        if (next == kInvalidPageId) {
+          return Status::Busy("side chain ended before covering key");
+        }
+        stats_.side_traversals.fetch_add(1, std::memory_order_relaxed);
+        side_hops.push_back({node.level(), cur.id(), next});
+      } else if (node.is_leaf()) {
+        bool found = false;
+        int slot = node.FindSlot(key, &found);
+        if (found) {
+          *value = node.EntryValue(slot).ToString();
+          result = Status::OK();
+        } else {
+          result = Status::NotFound("key absent");
+        }
+        leaf_pid = cur.id();
+        break;
+      } else {
+        int slot = node.FindChildSlot(key);
+        if (slot < 0) return Status::Busy("no child covers key");
+        IndexTerm term;
+        if (!DecodeIndexTerm(node.EntryValue(slot), &term)) {
+          return Status::Busy("bad index term in optimistic copy");
+        }
+        next = term.child;
+      }
+      OptimisticPage nxt;
+      if (!pool->FetchOptimistic(next, &nxt)) {
+        return Status::Busy("child not optimistically resident");
+      }
+      // Version coupling: the child's window is open; if the pointer we
+      // followed is still current, the windows overlap and the chain of
+      // validated states is connected.
+      if (!pool->Revalidate(cur)) {
+        return Status::Busy("parent changed while following pointer");
+      }
+      if (!pool->ReadConsistent(nxt, buf)) {
+        return Status::Busy("child copy did not validate");
+      }
+      cur = nxt;
+    }
+  }
+  // Epoch closed: schedule the same maintenance hints a latched traversal
+  // would have (§5.1 postings for crossed side pointers, §3.3 consolidation
+  // for the under-utilized leaf). `buf` still holds the validated leaf copy.
+  for (const SideHop& h : side_hops) {
+    SchedulePosting(op, h.level, h.from, h.sibling, key);
+  }
+  MaybeScheduleConsolidate(op, NodeRef(buf), leaf_pid);
+  return result;
+}
+
+Status PiTree::GetOptimistic(OpCtx* op, const Slice& key, std::string* value) {
+  for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+    Status s = TryGetOptimisticOnce(op, key, value);
+    if (!s.IsBusy()) {
+      stats_.optimistic_gets.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  return Status::Busy("optimistic descent did not settle");
+}
+
+// ---------------------------------------------------------------------------
 // Record operations
 // ---------------------------------------------------------------------------
 
@@ -398,6 +529,25 @@ Status PiTree::Get(Transaction* txn, const Slice& key, std::string* value) {
   if (key.empty()) return Status::InvalidArgument("empty key");
   OpCtx op;
   op.txn = txn;
+  if (ctx_->options.optimistic_reads) {
+    // Lock-first 2PL: the record lock name is computable without a descent,
+    // so take the S lock *before* entering the epoch section (no latches
+    // held, so the blocking wait is trivially No-Wait-safe, §4.1.2). Once
+    // granted, no writer can change or move this key's record, and the
+    // lock-manager handoff orders the last writer's page updates before our
+    // copies. The latched fallback re-requests the same lock; the lock
+    // manager's conversion path grants a re-lock by the owner immediately.
+    if (txn != nullptr) {
+      PITREE_RETURN_IF_ERROR(ctx_->locks->Lock(
+          txn, RecordLockName(root_, key), LockMode::kS, /*wait=*/true));
+    }
+    Status s = GetOptimistic(&op, key, value);
+    if (!s.IsBusy()) {
+      FlushPending(&op);
+      return s;
+    }
+    stats_.optimistic_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
   Status result;
   for (;;) {
     Descent d;

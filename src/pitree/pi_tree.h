@@ -34,6 +34,8 @@ struct PiTreeStats {
   std::atomic<uint64_t> saved_path_hits{0};
   std::atomic<uint64_t> saved_path_misses{0};
   std::atomic<uint64_t> in_txn_splits{0};   // page-oriented-undo mode (§4.2)
+  std::atomic<uint64_t> optimistic_gets{0};       // latch-free Get successes
+  std::atomic<uint64_t> optimistic_fallbacks{0};  // Busy -> latched descent
 };
 
 /// The Π-tree (paper §2), instantiated as a B-link search structure:
@@ -176,6 +178,23 @@ class PiTree {
   /// `sibling` (skipped when a move lock covers `from`, §4.2.2).
   void SchedulePosting(OpCtx* op, uint8_t level, PageId from, PageId sibling,
                        const Slice& key);
+
+  /// Latch-free point lookup (DESIGN.md §15): bounded retries of
+  /// TryGetOptimisticOnce. Returns Busy when the optimistic regime cannot
+  /// settle (torn copy, structural motion, cold page, epoch slots
+  /// exhausted); the caller falls back to the latched descent. The caller
+  /// must already hold the S record lock (lock-first 2PL), so a successful
+  /// copy-out returns lock-stable committed data.
+  Status GetOptimistic(OpCtx* op, const Slice& key, std::string* value);
+
+  /// One epoch-guarded version-validated descent: root to leaf via
+  /// consistent page copies, coupling each hop by revalidating the parent's
+  /// version after the child's optimistic fetch begins. Never latches,
+  /// pins, or blocks inside the epoch section; maintenance hints (§5.1
+  /// postings, §3.3 consolidation) observed along the way are appended to
+  /// `op->pending` after the section closes.
+  Status TryGetOptimisticOnce(OpCtx* op, const Slice& key,
+                              std::string* value);
 
   /// Acquires a record lock under the No-Wait Rule (§4.1.2): try while
   /// latched; on conflict release the leaf latch, wait, re-latch and

@@ -46,6 +46,35 @@ char* FlushScratch() {
   return buf.get();
 }
 
+// Probe window for the shard's open-addressed optimistic index. Beyond it
+// an insert overwrites (a clobbered entry self-heals on that page's next
+// latched hit) and a lookup gives up (false negative, latched path).
+constexpr size_t kOptIndexMaxProbe = 8;
+
+// TSan: the optimistic copy-out in ReadConsistent deliberately reads frame
+// bytes that a concurrent X holder may be writing — seqlock discipline; a
+// torn copy is discarded when the version-word validate fails. Suppress
+// the (intentional) race report for exactly that memcpy.
+#if defined(__SANITIZE_THREAD__)
+#define PITREE_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PITREE_TSAN_ACTIVE 1
+#endif
+#endif
+
+#if defined(PITREE_TSAN_ACTIVE)
+extern "C" void AnnotateIgnoreReadsBegin(const char* file, int line);
+extern "C" void AnnotateIgnoreReadsEnd(const char* file, int line);
+inline void TsanIgnoreReadsBegin() {
+  AnnotateIgnoreReadsBegin(__FILE__, __LINE__);
+}
+inline void TsanIgnoreReadsEnd() { AnnotateIgnoreReadsEnd(__FILE__, __LINE__); }
+#else
+inline void TsanIgnoreReadsBegin() {}
+inline void TsanIgnoreReadsEnd() {}
+#endif
+
 }  // namespace
 
 // The §4.1 checker (src/analysis/) tracks shard-mutex ownership at rank
@@ -54,7 +83,9 @@ char* FlushScratch() {
 // checker can register the wait (and run cycle detection) before the thread
 // actually parks; release builds compile to a plain lock().
 
-BufferPool::ShardLock::ShardLock(Shard& s) : lk(s.mu, std::defer_lock) {
+BufferPool::ShardLock::ShardLock(Shard& s)
+    : lk(s.mu, std::defer_lock), shard(&s) {
+  s.stats.mutex_acquires.fetch_add(1, std::memory_order_relaxed);
 #if PITREE_CHECK_INVARIANTS
   analysis::OnMutexAcquiring(&s.mu, analysis::Rank::kPoolShard);
   if (!lk.try_lock()) {
@@ -79,6 +110,7 @@ void BufferPool::ShardLock::Unlock() {
 }
 
 void BufferPool::ShardLock::Lock() {
+  shard->stats.mutex_acquires.fetch_add(1, std::memory_order_relaxed);
 #if PITREE_CHECK_INVARIANTS
   analysis::OnMutexAcquiring(lk.mutex(), analysis::Rank::kPoolShard);
   if (!lk.try_lock()) {
@@ -145,12 +177,80 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity,
     f.shard = static_cast<uint32_t>(i & shard_mask_);
     shards_[f.shard]->frames.push_back(i);
   }
+  for (auto& sp : shards_) {
+    // ~4x frames per shard keeps the open-addressed probe chains short at
+    // full residency (load factor <= 1/4).
+    size_t buckets = 64;
+    while (buckets < sp->frames.size() * 4) buckets *= 2;
+    sp->opt_index = std::vector<std::atomic<uint64_t>>(buckets);
+    sp->opt_mask = buckets - 1;
+  }
 }
 
 size_t BufferPool::ShardOf(PageId id) const {
   // Fibonacci mix so sequentially allocated pages spread across shards.
   uint64_t h = static_cast<uint64_t>(id) * 0x9E3779B97F4A7C15ull;
   return static_cast<size_t>(h >> 32) & shard_mask_;
+}
+
+namespace {
+// Bucket hash for the optimistic index: low half of the same Fibonacci mix
+// (ShardOf consumes the high half, so within one shard these bits still
+// spread).
+inline size_t OptBucketOf(PageId id, size_t mask) {
+  return static_cast<size_t>(static_cast<uint64_t>(id) *
+                             0x9E3779B97F4A7C15ull) &
+         mask;
+}
+inline uint64_t OptPack(PageId id, size_t frame_idx) {
+  return (static_cast<uint64_t>(id) + 1) << 32 |
+         static_cast<uint64_t>(frame_idx);
+}
+}  // namespace
+
+uint64_t BufferPool::OptIndexLookup(const Shard& shard, PageId id) const {
+  size_t slot = OptBucketOf(id, shard.opt_mask);
+  for (size_t probe = 0; probe < kOptIndexMaxProbe; ++probe) {
+    const uint64_t e = shard.opt_index[slot].load(std::memory_order_acquire);
+    if (e == 0) return 0;
+    if ((e >> 32) == static_cast<uint64_t>(id) + 1) return e;
+    slot = (slot + 1) & shard.opt_mask;
+  }
+  return 0;
+}
+
+void BufferPool::OptIndexInsert(Shard& shard, PageId id, size_t frame_idx) {
+  const uint64_t packed = OptPack(id, frame_idx);
+  size_t slot = OptBucketOf(id, shard.opt_mask);
+  size_t first_empty = SIZE_MAX;
+  size_t last = slot;
+  for (size_t probe = 0; probe < kOptIndexMaxProbe; ++probe) {
+    const uint64_t e = shard.opt_index[slot].load(std::memory_order_relaxed);
+    if ((e >> 32) == static_cast<uint64_t>(id) + 1) {
+      shard.opt_index[slot].store(packed, std::memory_order_release);
+      return;
+    }
+    if (e == 0 && first_empty == SIZE_MAX) first_empty = slot;
+    last = slot;
+    slot = (slot + 1) & shard.opt_mask;
+  }
+  // Window full: prefer an empty slot; else overwrite the window's last
+  // slot. The displaced page (if any) falls back to the latched path until
+  // its next latched hit re-inserts it.
+  shard.opt_index[first_empty != SIZE_MAX ? first_empty : last].store(
+      packed, std::memory_order_release);
+}
+
+void BufferPool::OptIndexErase(Shard& shard, PageId id, size_t frame_idx) {
+  const uint64_t packed = OptPack(id, frame_idx);
+  size_t slot = OptBucketOf(id, shard.opt_mask);
+  for (size_t probe = 0; probe < kOptIndexMaxProbe; ++probe) {
+    if (shard.opt_index[slot].load(std::memory_order_relaxed) == packed) {
+      shard.opt_index[slot].store(0, std::memory_order_release);
+      return;
+    }
+    slot = (slot + 1) & shard.opt_mask;
+  }
 }
 
 Status BufferPool::DoRead(PageId id, char* buf) {
@@ -176,6 +276,77 @@ Status BufferPool::FetchPageZeroed(PageId id, PageHandle* handle) {
   return FetchInternal(id, /*zeroed=*/true, handle);
 }
 
+bool BufferPool::FetchOptimistic(PageId id, OptimisticPage* out) {
+  assert(id != kInvalidPageId);
+  out->frame_ = nullptr;
+  Shard& shard = *shards_[ShardOf(id)];
+  if (!EpochManager::Global()->InEpoch()) {
+    shard.stats.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const uint64_t entry = OptIndexLookup(shard, id);
+  if (entry == 0) {
+    shard.stats.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const Frame& f = *frames_[static_cast<size_t>(entry & 0xFFFFFFFFu)];
+  const uint64_t v = f.latch.OptimisticBegin();
+  // Order matters: version word first, then `published`. If the frame is
+  // mid-reassignment the word is locked (reject); if the index entry was
+  // stale, `published` disavows the id (reject); if both pass, any
+  // reassignment after this point bumps the word and the eventual Validate
+  // catches it.
+  if (Latch::IsLocked(v) ||
+      f.published.load(std::memory_order_acquire) != id) {
+    shard.stats.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  out->frame_ = &f;
+  out->version_ = v;
+  out->id_ = id;
+  return true;
+}
+
+bool BufferPool::ReadConsistent(const OptimisticPage& page, char* dst) {
+  return ReadConsistent(page, dst, 0, kPageSize);
+}
+
+bool BufferPool::ReadConsistent(const OptimisticPage& page, char* dst,
+                                size_t offset, size_t len) {
+  assert(page.valid());
+  assert(offset + len <= kPageSize);
+  Frame& f = *const_cast<Frame*>(static_cast<const Frame*>(page.frame_));
+  assert(EpochManager::Global()->InEpoch());
+  analysis::OnOptimisticCopy();
+  // Seqlock-style copy: may race an X-latched writer; the bytes are used
+  // only if the validate below proves no writer span overlapped. The epoch
+  // section guarantees the *frame* still holds some page (not recycled
+  // storage), so the copy itself is well-defined loads of live memory.
+  TsanIgnoreReadsBegin();
+  // lint:olc-validated -- seqlock copy, checked by the Validate below
+  memcpy(dst, f.data.get() + offset, len);
+  TsanIgnoreReadsEnd();
+  const bool ok = f.latch.Validate(page.version_);
+  ShardCounters& stats = shards_[f.shard]->stats;
+  if (ok) {
+    stats.opt_hits.fetch_add(1, std::memory_order_relaxed);
+    // Second-chance bit, read-mostly: avoid the store (and the cacheline
+    // invalidation) when it is already set.
+    if (!f.ref.load(std::memory_order_relaxed)) {
+      f.ref.store(true, std::memory_order_relaxed);
+    }
+  } else {
+    stats.opt_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ok;
+}
+
+bool BufferPool::Revalidate(const OptimisticPage& page) const {
+  assert(page.valid());
+  const Frame& f = *static_cast<const Frame*>(page.frame_);
+  return f.latch.Validate(page.version_);
+}
+
 Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
   assert(id != kInvalidPageId);
   Shard& shard = *shards_[ShardOf(id)];
@@ -190,27 +361,46 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
       // of the page this frame is being stolen from. Sleep until the frame
       // is published (or the claim is unwound) and rescan: the table may
       // look entirely different by then.
-      ++shard.stats.io_waits;
+      shard.stats.io_waits.fetch_add(1, std::memory_order_relaxed);
       shard.cv.wait(lk.lk);
       continue;
     }
     assert(f.page_id == id);
     ++f.pin_count;
-    f.lru_tick = ++shard.tick;
-    ++shard.stats.hits;
+    if (!f.ref.load(std::memory_order_relaxed)) {
+      f.ref.store(true, std::memory_order_relaxed);
+    }
+    shard.stats.hits.fetch_add(1, std::memory_order_relaxed);
     if (zeroed) {
       // Caller is re-formatting a re-allocated page that is still resident.
       // Defensive: a resident page cannot be pending lazy redo (every load
       // goes through the replay hook below), but a re-format supersedes any
       // entry regardless.
       if (recovery_map_ != nullptr) recovery_map_->DiscardPending(id);
+      // The in-place reformat runs the reclaim protocol like an eviction:
+      // retire the optimistic identity, lock the version word, wait out
+      // readers mid-copy, then wipe. TryBeginReclaim can fail only when a
+      // concurrent X holder owns the span — then optimistic readers are
+      // already fenced off by the locked word and the holder's release
+      // bump, and no grace wait is needed (no reader can be mid-copy).
+      OptIndexErase(shard, id, it->second);
+      f.published.store(kInvalidPageId, std::memory_order_relaxed);
+      const bool claimed = f.latch.TryBeginReclaim();
+      if (claimed) EpochManager::Global()->WaitGracePeriod();
       memset(f.data.get(), 0, kPageSize);
+      if (claimed) f.latch.EndReclaim();
+      f.published.store(id, std::memory_order_release);
+      OptIndexInsert(shard, id, it->second);
+    } else if (OptIndexLookup(shard, id) == 0) {
+      // Self-heal the approximate index (entries can be displaced by probe
+      // -window overflow or erase holes) while the mutex is held anyway.
+      OptIndexInsert(shard, id, it->second);
     }
     *handle = PageHandle(this, it->second);
     return Status::OK();
   }
 
-  ++shard.stats.misses;
+  shard.stats.misses.fetch_add(1, std::memory_order_relaxed);
   size_t idx;
   Frame* victim = nullptr;
   size_t latch_skips = 0;
@@ -231,7 +421,7 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
     if (++latch_skips > shard.frames.size()) {
       return Status::Busy("buffer pool shard: no latch-free victim");
     }
-    victim->lru_tick = ++shard.tick;  // deprioritize, look again
+    victim->ref.store(true, std::memory_order_relaxed);  // deprioritize
   }
   Frame& f = *victim;
   const PageId victim_id = f.page_id;
@@ -244,8 +434,13 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
   f.io_in_progress = true;
   shard.table[id] = idx;
 
-  if (victim_id != kInvalidPageId) ++shard.stats.evictions;
+  if (victim_id != kInvalidPageId) {
+    shard.stats.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
   if (f.dirty) {
+    // The victim's bytes stay intact during the flush, so its optimistic
+    // identity stays live meanwhile — readers of the evictee keep
+    // validating until the bytes are actually about to change, below.
     Status fs = FlushFrame(shard, lk, f, /*latched=*/true);
     if (!fs.ok()) {
       // The victim keeps its identity and its dirty image (losing either
@@ -256,6 +451,21 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
       return fs;
     }
   }
+
+  // Retire the victim's optimistic identity before the frame's bytes can
+  // change: drop the lock-free index entry, disavow `published`, and lock
+  // the version word. The grace-period wait (after the mutex drops, before
+  // the first byte lands) guarantees no unpinned reader is still mid-copy
+  // out of this frame; the eventual EndReclaim bump makes every snapshot
+  // of the old incarnation fail its Validate.
+  if (victim_id != kInvalidPageId) OptIndexErase(shard, victim_id, idx);
+  f.published.store(kInvalidPageId, std::memory_order_relaxed);
+  const bool reclaim_claimed = f.latch.TryBeginReclaim();
+  // An unpinned victim cannot have an X holder (latches are reached only
+  // through pinned handles), so the claim cannot fail; if the invariant
+  // ever breaks, proceed without the reclaim span — the foreign X holder's
+  // own locked word already fences optimistic readers off the frame.
+  assert(reclaim_claimed);
 
   // The old image (if any) is durable; retire the old identity *before* the
   // read, so an error below leaves the frame on the free list instead of a
@@ -283,9 +493,13 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
     // deallocated and is being re-formatted; the caller's format record
     // supersedes the dead incarnation's pending history.
     if (recovery_map_ != nullptr) recovery_map_->DiscardPending(id);
+    if (reclaim_claimed) EpochManager::Global()->WaitGracePeriod();
     memset(f.data.get(), 0, kPageSize);
   } else {
     lk.Unlock();
+    // Quiesce unpinned readers of the old incarnation before its bytes are
+    // overwritten by the read below (see the reclaim comment above).
+    if (reclaim_claimed) EpochManager::Global()->WaitGracePeriod();
     s = DoRead(id, f.data.get());
     if (s.ok() && recovery_map_ != nullptr) {
       // Lazy redo (DESIGN.md §13): repeat this page's history onto the
@@ -301,7 +515,9 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
 
   if (!s.ok()) {
     // A failed replay leaves the page pending in the map: the next fetch
-    // retries the whole read+replay.
+    // retries the whole read+replay. The reclaim span must still close
+    // (with its bump) or the version word would stay locked forever.
+    if (reclaim_claimed) f.latch.EndReclaim();
     shard.table.erase(id);
     f.page_id = kInvalidPageId;
     f.io_in_progress = false;
@@ -320,7 +536,14 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
   }
   if (replay_had_entry) recovery_map_->MarkReplayed(id);
   f.pin_count = 1;
-  f.lru_tick = ++shard.tick;
+  f.ref.store(true, std::memory_order_relaxed);
+  // Publish for optimistic readers only now, when the image is complete
+  // (read in + lazy redo replayed): close the reclaim span (version bump),
+  // then expose the id. A reader that snapshots the word after the bump
+  // sees the finished bytes via its seq_cst Begin load.
+  if (reclaim_claimed) f.latch.EndReclaim();
+  f.published.store(id, std::memory_order_release);
+  OptIndexInsert(shard, id, idx);
   f.io_in_progress = false;
   shard.cv.notify_all();
   *handle = PageHandle(this, idx);
@@ -328,25 +551,42 @@ Status BufferPool::FetchInternal(PageId id, bool zeroed, PageHandle* handle) {
 }
 
 Status BufferPool::FindVictim(Shard& shard, size_t* out_idx) {
-  size_t best = frames_.size();
-  uint64_t best_tick = UINT64_MAX;
-  for (size_t i : shard.frames) {
-    const Frame& f = *frames_[i];
+  // Second-chance clock. Hits (latched or optimistic) set a per-frame
+  // reference bit with a relaxed store instead of bumping a shared LRU
+  // tick under the mutex; the sweep clears bits and takes the first
+  // unpinned frame found unreferenced. Free frames are taken on sight.
+  const size_t n = shard.frames.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame& f = *frames_[shard.frames[shard.clock_hand]];
+    const size_t idx = shard.frames[shard.clock_hand];
+    shard.clock_hand = (shard.clock_hand + 1) % n;
     if (f.io_in_progress) continue;
     if (f.page_id == kInvalidPageId) {
-      *out_idx = i;
+      *out_idx = idx;
       return Status::OK();
     }
-    if (f.pin_count == 0 && f.lru_tick < best_tick) {
-      best = i;
-      best_tick = f.lru_tick;
+    if (f.pin_count > 0) continue;
+    if (f.ref.load(std::memory_order_relaxed)) {
+      f.ref.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    *out_idx = idx;
+    return Status::OK();
+  }
+  // Two full sweeps found nothing unreferenced: optimistic readers can
+  // re-set bits without the mutex faster than the clock clears them. Take
+  // any unpinned frame rather than misreporting a full shard.
+  for (size_t step = 0; step < n; ++step) {
+    Frame& f = *frames_[shard.frames[shard.clock_hand]];
+    const size_t idx = shard.frames[shard.clock_hand];
+    shard.clock_hand = (shard.clock_hand + 1) % n;
+    if (f.io_in_progress) continue;
+    if (f.page_id == kInvalidPageId || f.pin_count == 0) {
+      *out_idx = idx;
+      return Status::OK();
     }
   }
-  if (best == frames_.size()) {
-    return Status::Busy("buffer pool shard exhausted: all pages pinned");
-  }
-  *out_idx = best;
-  return Status::OK();
+  return Status::Busy("buffer pool shard exhausted: all pages pinned");
 }
 
 Status BufferPool::FlushFrame(Shard& shard, ShardLock& lk, Frame& f,
@@ -375,7 +615,7 @@ Status BufferPool::FlushFrame(Shard& shard, ShardLock& lk, Frame& f,
   if (s.ok()) s = DoWrite(pid, snap);
   lk.Lock();
   if (s.ok()) {
-    ++shard.stats.flushes;
+    shard.stats.flushes.fetch_add(1, std::memory_order_relaxed);
     // A writer may have dirtied the page again between the snapshot and
     // here; clearing `dirty` then would shed a logged update from the DPT.
     if (f.dirty_epoch == epoch) {
@@ -437,11 +677,20 @@ void BufferPool::DiscardAll() {
       Frame& f = *frames_[idx];
       while (f.io_in_progress) shard.cv.wait(lk.lk);
       assert(f.pin_count == 0);
+      if (f.page_id != kInvalidPageId) {
+        // Bump the version word so any OptimisticPage captured before the
+        // discard can never validate against a recycled frame. No grace
+        // wait needed: the discard changes identity, not bytes.
+        if (f.latch.TryBeginReclaim()) f.latch.EndReclaim();
+      }
+      f.published.store(kInvalidPageId, std::memory_order_relaxed);
+      f.ref.store(false, std::memory_order_relaxed);
       f.page_id = kInvalidPageId;
       f.dirty = false;
       f.rec_lsn = kInvalidLsn;
     }
     shard.table.clear();
+    for (auto& e : shard.opt_index) e.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -462,11 +711,26 @@ std::vector<std::pair<PageId, Lsn>> BufferPool::DirtyPageTable() const {
   return dpt;
 }
 
+PoolShardStats BufferPool::ShardCounters::Snapshot() const {
+  PoolShardStats s;
+  s.hits = hits.load(std::memory_order_relaxed);
+  s.misses = misses.load(std::memory_order_relaxed);
+  s.evictions = evictions.load(std::memory_order_relaxed);
+  s.flushes = flushes.load(std::memory_order_relaxed);
+  s.io_waits = io_waits.load(std::memory_order_relaxed);
+  s.opt_hits = opt_hits.load(std::memory_order_relaxed);
+  s.opt_fallbacks = opt_fallbacks.load(std::memory_order_relaxed);
+  s.mutex_acquires = mutex_acquires.load(std::memory_order_relaxed);
+  return s;
+}
+
+// Counters are atomics now, so snapshots take no shard mutex — reading
+// stats perturbs neither the latched nor the optimistic hot path.
+
 uint64_t BufferPool::miss_count() const {
   uint64_t total = 0;
   for (const auto& sp : shards_) {
-    ShardLock lk(*sp);
-    total += sp->stats.misses;
+    total += sp->stats.misses.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -475,13 +739,16 @@ PoolStats BufferPool::Stats() const {
   PoolStats out;
   out.shards.reserve(shards_.size());
   for (const auto& sp : shards_) {
-    ShardLock lk(*sp);
-    out.shards.push_back(sp->stats);
-    out.total.hits += sp->stats.hits;
-    out.total.misses += sp->stats.misses;
-    out.total.evictions += sp->stats.evictions;
-    out.total.flushes += sp->stats.flushes;
-    out.total.io_waits += sp->stats.io_waits;
+    const PoolShardStats s = sp->stats.Snapshot();
+    out.shards.push_back(s);
+    out.total.hits += s.hits;
+    out.total.misses += s.misses;
+    out.total.evictions += s.evictions;
+    out.total.flushes += s.flushes;
+    out.total.io_waits += s.io_waits;
+    out.total.opt_hits += s.opt_hits;
+    out.total.opt_fallbacks += s.opt_fallbacks;
+    out.total.mutex_acquires += s.mutex_acquires;
   }
   return out;
 }
@@ -514,6 +781,18 @@ Status BufferPool::CheckConsistency() const {
         if (it == shard.table.end() || it->second != idx) {
           return Status::Corruption("resident page missing from table");
         }
+        if (f.published.load(std::memory_order_relaxed) != f.page_id) {
+          return Status::Corruption(
+              "settled frame not published under its own id");
+        }
+      }
+    }
+    for (const auto& e : shard.opt_index) {
+      const uint64_t packed = e.load(std::memory_order_relaxed);
+      if (packed == 0) continue;
+      const size_t idx = static_cast<size_t>(packed & 0xFFFFFFFFu);
+      if (idx >= frames_.size() || frames_[idx]->shard != si) {
+        return Status::Corruption("optimistic index entry crosses shards");
       }
     }
     for (const auto& [pid, idx] : shard.table) {

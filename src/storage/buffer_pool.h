@@ -1,6 +1,7 @@
 #ifndef PITREE_STORAGE_BUFFER_POOL_H_
 #define PITREE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -13,6 +14,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "storage/disk_manager.h"
+#include "storage/epoch.h"
 #include "storage/latch.h"
 #include "storage/page.h"
 
@@ -61,19 +63,45 @@ class PageHandle {
   size_t frame_idx_ = 0;
 };
 
-/// Per-shard counters. A snapshot locks one shard at a time, so totals are
-/// per-shard consistent rather than a global instant.
+/// Per-shard counter snapshot. Counters are maintained as relaxed atomics
+/// (so the optimistic hit path can count without the shard mutex) and
+/// copied out here; a snapshot is a momentary, not globally consistent,
+/// view.
 struct PoolShardStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;   // frames whose previous page was displaced
   uint64_t flushes = 0;     // dirty images written through to disk
   uint64_t io_waits = 0;    // fetchers that slept behind another's I/O
+  uint64_t opt_hits = 0;       // optimistic copies that validated
+  uint64_t opt_fallbacks = 0;  // optimistic resolution/validation failures
+  uint64_t mutex_acquires = 0;  // shard-mutex lock operations
 };
 
 struct PoolStats {
   std::vector<PoolShardStats> shards;
   PoolShardStats total;  // element-wise sum over shards
+};
+
+/// An unpinned, unlatched reference to a resident frame believed to hold
+/// one page, captured together with the frame's version word. Only usable
+/// through BufferPool::ReadConsistent / Revalidate, and only while the
+/// resolving thread is still inside the EpochGuard it resolved under: the
+/// epoch keeps the frame's bytes from being recycled mid-copy; the version
+/// word is what detects (at validate time) that the frame moved on.
+class OptimisticPage {
+ public:
+  OptimisticPage() = default;
+
+  bool valid() const { return frame_ != nullptr; }
+  uint64_t version() const { return version_; }
+  PageId id() const { return id_; }
+
+ private:
+  friend class BufferPool;
+  const void* frame_ = nullptr;  // Frame*, opaque to callers
+  uint64_t version_ = 0;
+  PageId id_ = kInvalidPageId;
 };
 
 /// Fixed-capacity page cache, sharded for multicore scaling.
@@ -123,6 +151,37 @@ class BufferPool {
 
   /// Pins page `id`, reading it from disk if not resident.
   Status FetchPage(PageId id, PageHandle* handle);
+
+  /// Resolves page→frame with no shard mutex and no pin: a lock-free probe
+  /// of the shard's atomic index plus one version-word load. Requires the
+  /// calling thread to be inside an active EpochGuard. Returns false (a
+  /// counted fallback) when the page is not resident in the index, the
+  /// frame is write-locked or mid-reclaim, or the thread has no epoch slot
+  /// — the caller falls back to FetchPage. A page pending lazy redo
+  /// (DESIGN.md §13) is never in the index (frames publish only after
+  /// replay), so recovery-pending pages miss to the latched path by
+  /// construction.
+  bool FetchOptimistic(PageId id, OptimisticPage* out);
+
+  /// Copies the frame's kPageSize image into `dst` and validates the
+  /// version word. True iff `dst` now holds a consistent snapshot of page
+  /// `page.id()`; on false the bytes in `dst` are garbage and must be
+  /// discarded (retry or fall back). Must run inside the same EpochGuard
+  /// that resolved `page`.
+  bool ReadConsistent(const OptimisticPage& page, char* dst);
+
+  /// Ranged variant: copies only `[offset, offset+len)` of the page image.
+  /// Same contract; callers that need a single record (not a parseable
+  /// whole-page snapshot) should prefer this — the validate covers any
+  /// range, so there is no reason to pay for bytes that will not be read.
+  bool ReadConsistent(const OptimisticPage& page, char* dst, size_t offset,
+                      size_t len);
+
+  /// Re-checks that the frame still carries the captured version. Used for
+  /// OLC version coupling during descents: revalidating a parent after
+  /// resolving its child proves the child pointer was still current when
+  /// the child was reached.
+  bool Revalidate(const OptimisticPage& page) const;
 
   /// Pins page `id` with a zeroed in-memory image (for freshly allocated
   /// pages whose on-disk bytes are stale). The caller formats and logs it.
@@ -181,8 +240,31 @@ class BufferPool {
     /// Bumped by every dirtying; a flush clears `dirty` only if the epoch
     /// did not move while its latch-consistent snapshot was being written.
     uint64_t dirty_epoch = 0;
-    uint64_t lru_tick = 0;
+    /// The page id optimistic readers may trust this frame to carry. Set
+    /// (release) only when the frame's image is complete — read in, lazy
+    /// redo replayed — and cleared before the bytes may change identity.
+    /// Closes the stale-index race: an index entry can briefly point at a
+    /// reassigned frame, but the frame itself then disavows the id.
+    std::atomic<PageId> published{kInvalidPageId};
+    /// Second-chance reference bit: set with a relaxed store on every hit
+    /// (latched or optimistic), cleared by the clock sweep in FindVictim.
+    /// Replaces the old per-hit LRU tick so hits never serialize on
+    /// replacement bookkeeping.
+    std::atomic<bool> ref{false};
     uint32_t shard = 0;  // immutable after construction
+  };
+
+  /// Internal per-shard counters; PoolShardStats is the plain snapshot.
+  struct ShardCounters {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> io_waits{0};
+    std::atomic<uint64_t> opt_hits{0};
+    std::atomic<uint64_t> opt_fallbacks{0};
+    std::atomic<uint64_t> mutex_acquires{0};
+    PoolShardStats Snapshot() const;
   };
 
   struct Shard {
@@ -190,8 +272,15 @@ class BufferPool {
     std::condition_variable cv;  // io_in_progress completions
     std::unordered_map<PageId, size_t> table;
     std::vector<size_t> frames;  // indices into frames_, fixed at startup
-    uint64_t tick = 0;
-    PoolShardStats stats;
+    size_t clock_hand = 0;       // second-chance sweep position (under mu)
+    /// Lock-free page→frame index for FetchOptimistic: open-addressed
+    /// buckets of `(page_id + 1) << 32 | frame_idx` (0 = empty), mutated
+    /// only under `mu` (publish/retire), probed with plain atomic loads.
+    /// Approximate by design: a false negative just costs the latched
+    /// path; a false positive is rejected by the frame's `published` check.
+    std::vector<std::atomic<uint64_t>> opt_index;
+    size_t opt_mask = 0;
+    mutable ShardCounters stats;
   };
 
   /// Guard that registers the shard mutex with the §4.1 latch-protocol
@@ -207,10 +296,17 @@ class BufferPool {
     void Unlock();
     void Lock();
     std::unique_lock<std::mutex> lk;
+    Shard* shard;  // for the mutex_acquires counter
   };
 
   size_t ShardOf(PageId id) const;
   Status FetchInternal(PageId id, bool zeroed, PageHandle* handle);
+
+  // Lock-free index helpers. Lookup runs with no mutex and returns the
+  // packed entry (0 = miss); insert/erase require the shard mutex.
+  uint64_t OptIndexLookup(const Shard& shard, PageId id) const;
+  void OptIndexInsert(Shard& shard, PageId id, size_t frame_idx);
+  void OptIndexErase(Shard& shard, PageId id, size_t frame_idx);
   // Requires the shard lock held.
   Status FindVictim(Shard& shard, size_t* out_idx);
   /// Writes the frame's dirty image to disk, WAL-first. The shard lock is

@@ -1,0 +1,98 @@
+#include "storage/epoch.h"
+
+#include <cassert>
+#include <thread>
+
+#include "analysis/latch_checker.h"
+
+namespace pitree {
+
+struct ThreadEpochState {
+  int32_t slot = -1;  // claimed slot index in Global(), -1 = none
+  uint32_t depth = 0;
+
+  ~ThreadEpochState() {
+    // Return the slot so the bounded slot array survives thread churn.
+    // Global() is leaked, so this is safe during thread teardown; depth is
+    // necessarily 0 here (a section cannot outlive its stack frames).
+    if (slot >= 0) {
+      EpochManager::Slot& s = EpochManager::Global()->slots_[slot];
+      s.epoch.store(EpochManager::kIdle, std::memory_order_release);
+      s.claimed.store(0, std::memory_order_release);
+    }
+  }
+};
+
+namespace {
+thread_local ThreadEpochState t_epoch;
+}  // namespace
+
+EpochManager* EpochManager::Global() {
+  static EpochManager* mgr = new EpochManager();  // leaked, see header
+  return mgr;
+}
+
+bool EpochManager::ClaimSlot() {
+  for (uint32_t i = 0; i < kMaxSlots; ++i) {
+    uint32_t expected = 0;
+    if (slots_[i].claimed.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel)) {
+      t_epoch.slot = static_cast<int32_t>(i);
+      uint32_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_acq_rel)) {
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EpochManager::Enter() {
+  ThreadEpochState& te = t_epoch;
+  if (te.depth > 0) {
+    // Nested section: keep the outer epoch pinned (refreshing it here could
+    // let a grace period overtake copies staged by the outer section).
+    ++te.depth;
+    return true;
+  }
+  if (te.slot < 0 && !ClaimSlot()) return false;
+  // seq_cst store: must be ordered before this thread's subsequent
+  // version-word loads in the single total order the reclaimer's
+  // fetch_or + slot scan also participate in (see header).
+  slots_[te.slot].epoch.store(global_.load(std::memory_order_relaxed),
+                              std::memory_order_seq_cst);
+  te.depth = 1;
+  analysis::OnOptimisticEnter();
+  return true;
+}
+
+void EpochManager::Exit() {
+  ThreadEpochState& te = t_epoch;
+  assert(te.depth > 0);
+  if (--te.depth == 0) {
+    slots_[te.slot].epoch.store(kIdle, std::memory_order_release);
+    analysis::OnOptimisticExit();
+  }
+}
+
+bool EpochManager::InEpoch() const { return t_epoch.depth > 0; }
+
+void EpochManager::WaitGracePeriod() {
+  assert(t_epoch.depth == 0 &&
+         "grace-period wait inside an epoch section would self-deadlock");
+  const uint64_t target = global_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  const uint32_t n = high_water_.load(std::memory_order_acquire);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t spins = 0;
+    for (;;) {
+      const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+      if (e == kIdle || e >= target) break;
+      // Sections never block (checker-enforced), so the straggler is
+      // running or preempted; spin briefly, then let it be scheduled.
+      if (++spins >= 64) std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace pitree

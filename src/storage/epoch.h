@@ -1,0 +1,109 @@
+#ifndef PITREE_STORAGE_EPOCH_H_
+#define PITREE_STORAGE_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pitree {
+
+/// Epoch-based reclamation for optimistic (unpinned, unlatched) page
+/// readers.
+///
+/// The problem: BufferPool::FetchOptimistic hands a reader a frame pointer
+/// with no pin. The frame's version word catches *logical* staleness — any
+/// copy taken before an eviction fails its Validate — but the reader's
+/// byte-wise copy must also be *physically* safe: the frame's bytes must
+/// not be overwritten with a different page's image while the copy is in
+/// flight (the copy would be discarded, but the engine would still be
+/// racing a load against a store with no synchronization at all).
+///
+/// The protocol, a minimal quiescent-state scheme:
+///  - Each reader thread owns one cache-line-padded slot (claimed lazily,
+///    released at thread exit). Entering a section stores the current
+///    global epoch into the slot (seq_cst); leaving stores kIdle.
+///  - A reclaimer first marks the frame's version word locked
+///    (Latch::TryBeginReclaim, a seq_cst RMW), then bumps the global epoch
+///    and waits until every slot is idle or has observed the new epoch
+///    (WaitGracePeriod). Sequential consistency gives the Dekker-style
+///    guarantee: a reader either sees the locked word at OptimisticBegin
+///    (and backs off before touching bytes) or its slot store is visible
+///    to the reclaimer's scan (and the reclaimer waits it out). Either
+///    way, no reader is mid-copy when the frame's bytes are replaced.
+///  - Readers never block inside a section (machine-checked by
+///    src/analysis/: no blocking latch/mutex/lock acquire while a section
+///    is open), so every grace period terminates after at most one
+///    scheduling quantum per active reader.
+///
+/// One process-wide manager (Global()) serves every pool: thread slots are
+/// per-thread, not per-pool, so a thread's slot can never dangle when a
+/// pool dies first, and the cross-pool imprecision only makes reclaimers
+/// wait for a few foreign readers — bounded, per the no-blocking rule.
+class EpochManager {
+ public:
+  /// Slot value meaning "not in any section".
+  static constexpr uint64_t kIdle = ~0ull;
+  /// Concurrent reader-thread bound; a thread beyond it simply never gets
+  /// a slot and uses the latched path (Enter returns false).
+  static constexpr uint32_t kMaxSlots = 256;
+
+  /// The process-wide manager. Leaked deliberately: thread-exit hooks and
+  /// crash tests may run sections during static destruction.
+  static EpochManager* Global();
+
+  /// Enters an epoch-protected section on this thread; re-entrant. False
+  /// when no slot could be claimed — the caller must use the pinned path.
+  bool Enter();
+
+  /// Leaves the innermost section; the outermost exit publishes kIdle.
+  void Exit();
+
+  /// True while this thread has a section open.
+  bool InEpoch() const;
+
+  /// Reclaimer side: advance the global epoch and wait until every slot is
+  /// idle or has entered at or after the new epoch. Call after the frame's
+  /// version word is locked and before the first byte of the frame is
+  /// overwritten. Must not be called from inside a section (it would wait
+  /// on its own slot); the analysis checker's no-blocking rule keeps
+  /// sections free of every path that reclaims.
+  void WaitGracePeriod();
+
+ private:
+  EpochManager() = default;
+
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<uint32_t> claimed{0};
+  };
+
+  bool ClaimSlot();
+
+  Slot slots_[kMaxSlots];
+  std::atomic<uint64_t> global_{1};
+  // Highest claimed slot index + 1; bounds the reclaimer's scan.
+  std::atomic<uint32_t> high_water_{0};
+
+  friend struct ThreadEpochState;
+};
+
+/// RAII section for EpochManager::Global(). `active()` false means slot
+/// exhaustion: the guard is a no-op and the caller must take the latched
+/// path instead of touching any unpinned frame.
+class EpochGuard {
+ public:
+  EpochGuard() : active_(EpochManager::Global()->Enter()) {}
+  ~EpochGuard() {
+    if (active_) EpochManager::Global()->Exit();
+  }
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+};
+
+}  // namespace pitree
+
+#endif  // PITREE_STORAGE_EPOCH_H_

@@ -55,6 +55,7 @@ void Latch::AcquireX() {
     --x_waiters_;
   }
   x_held_ = true;
+  vw_.fetch_or(kLockedBit, std::memory_order_seq_cst);
   analysis::OnLatchAcquired(this, LatchMode::kExclusive);
 }
 
@@ -85,6 +86,7 @@ bool Latch::TryAcquireX() {
   std::lock_guard<std::mutex> lk(mu_);
   if (!XOk()) return false;
   x_held_ = true;
+  vw_.fetch_or(kLockedBit, std::memory_order_seq_cst);
   analysis::OnLatchAcquired(this, LatchMode::kExclusive);
   return true;
 }
@@ -123,6 +125,9 @@ void Latch::ReleaseX() {
   std::lock_guard<std::mutex> lk(mu_);
   analysis::OnLatchReleased(this, LatchMode::kExclusive);
   assert(x_held_);
+  // Bump-and-unlock in one RMW (the word is odd while X is held): any
+  // optimistic snapshot taken before this X span now fails its Validate.
+  vw_.fetch_add(1, std::memory_order_seq_cst);
   x_held_ = false;
   if (s_waiters_ > 0 || u_waiters_ > 0 || x_waiters_ > 0) {
     cv_.notify_all();
@@ -138,6 +143,9 @@ void Latch::PromoteUToX() {
   u_held_ = false;
   promoting_ = false;
   x_held_ = true;
+  // The word stays untouched across the U span (U holders don't write
+  // bytes); the locked span starts here, where write permission begins.
+  vw_.fetch_or(kLockedBit, std::memory_order_seq_cst);
   analysis::OnLatchPromoted(this);
   // Completing the promotion enables nobody: X is now held, so every
   // predicate stays false until ReleaseX/DemoteXToU.
@@ -146,6 +154,7 @@ void Latch::PromoteUToX() {
 void Latch::DemoteXToU() {
   std::lock_guard<std::mutex> lk(mu_);
   assert(x_held_);
+  vw_.fetch_add(1, std::memory_order_seq_cst);  // see ReleaseX
   x_held_ = false;
   u_held_ = true;
   analysis::OnLatchDemoted(this);

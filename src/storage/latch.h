@@ -1,10 +1,13 @@
 #ifndef PITREE_STORAGE_LATCH_H_
 #define PITREE_STORAGE_LATCH_H_
 
+#include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 
+#include "analysis/latch_checker.h"
 #include "analysis/latch_id.h"
 
 namespace pitree {
@@ -55,6 +58,71 @@ class Latch {
   /// Releases whatever mode `mode` names; convenience for handle code.
   void Release(LatchMode mode);
 
+  // ---- optimistic (OLC) read support --------------------------------------
+  //
+  // A single atomic version word encodes `version << 1 | locked`. The locked
+  // bit covers exactly the spans in which the protected bytes may change:
+  // while X is held (AcquireX/TryAcquireX and PromoteUToX, through
+  // ReleaseX/DemoteXToU) and while the buffer pool reclaims the frame
+  // (TryBeginReclaim..EndReclaim). Each such span ends with `fetch_add(1)` on
+  // the odd word — one RMW that clears the bit and carries into the version.
+  //
+  // Readers never write the word: OptimisticBegin is a load, Validate is a
+  // fence + load. S holders never write bytes; U holders never write bytes
+  // either until they promote (every write path in the engine promotes
+  // first), so the word ignores S/U entirely and optimistic readers validate
+  // successfully across concurrent S/U holds. The blocking S/U/X semantics
+  // above (§4.1 writer-preference admission, the S-over-own-U exemption) are
+  // untouched — they are the slow path optimistic readers fall back to.
+
+  static constexpr uint64_t kLockedBit = 1;
+  static bool IsLocked(uint64_t word) { return (word & kLockedBit) != 0; }
+
+  /// Snapshot of the version word to validate a copy-out against. The caller
+  /// must treat a locked word as an immediate failure (a writer or reclaimer
+  /// is mid-update).
+  uint64_t OptimisticBegin() const {
+    return vw_.load(std::memory_order_seq_cst);
+  }
+
+  /// True iff no writer/reclaimer span overlapped [OptimisticBegin, now):
+  /// the word is still exactly `word` and `word` was unlocked. The acquire
+  /// fence orders the caller's preceding byte reads before the reload, so a
+  /// true result proves those reads saw a quiescent image.
+  bool Validate(uint64_t word) const {
+#if defined(__SANITIZE_THREAD__)
+    // GCC TSan rejects atomic_thread_fence (-Werror=tsan). A seq_cst reload
+    // stands in; the ordering the fence provides is moot under TSan anyway —
+    // the seqlock copy's racy reads are annotation-suppressed, and TSan does
+    // not model fences.
+    const bool ok =
+        !IsLocked(word) && vw_.load(std::memory_order_seq_cst) == word;
+#else
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const bool ok =
+        !IsLocked(word) && vw_.load(std::memory_order_relaxed) == word;
+#endif
+    analysis::OnOptimisticValidated(ok);
+    return ok;
+  }
+
+  /// Marks the word locked for a frame-reclamation span (eviction/reformat:
+  /// the bytes are about to change with no X latch held). Returns false if
+  /// the word was already locked — an X holder owns the span; the caller
+  /// must then skip its own EndReclaim (the holder's release will bump).
+  bool TryBeginReclaim() {
+    return (vw_.fetch_or(kLockedBit, std::memory_order_seq_cst) &
+            kLockedBit) == 0;
+  }
+
+  /// Ends a TryBeginReclaim()==true span: bumps the version and clears the
+  /// bit, so every OptimisticBegin snapshot taken before the span fails its
+  /// Validate (the frame's identity/bytes moved on).
+  void EndReclaim() {
+    assert(IsLocked(vw_.load(std::memory_order_relaxed)));
+    vw_.fetch_add(1, std::memory_order_seq_cst);
+  }
+
 #if PITREE_CHECK_INVARIANTS
   /// Identity for the §4.1 protocol checker (src/analysis/): rank, tree
   /// level, page id. Set by the buffer pool when a frame takes on a page,
@@ -92,6 +160,9 @@ class Latch {
   bool u_held_ = false;
   bool x_held_ = false;
   bool promoting_ = false;
+  // OLC version word (see the optimistic-read block above). Mutated only by
+  // X transitions and reclaim spans.
+  std::atomic<uint64_t> vw_{0};
 };
 
 }  // namespace pitree

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <sstream>
 
 #include "analysis/latch_checker.h"
@@ -11,6 +12,7 @@
 #include "engine/page_alloc.h"
 #include "mvcc/timestamp_oracle.h"
 #include "recovery/recovery_manager.h"
+#include "storage/epoch.h"
 #include "storage/space_map.h"
 #include "txn/lock_manager.h"
 #include "txn/txn_manager.h"
@@ -842,10 +844,179 @@ Status TsbTree::Erase(Transaction* txn, const Slice& key) {
   return WriteCurrent(txn, key, /*tombstone=*/true, Slice());
 }
 
+// ---------------------------------------------------------------------------
+// Optimistic (latch-free) as-of lookup — DESIGN.md §15
+// ---------------------------------------------------------------------------
+
+namespace {
+// Same budgets as the Π-tree's optimistic path (pi_tree.cc); each file keeps
+// its own internal-linkage copy.
+constexpr int kOptimisticRetries = 3;
+constexpr int kOptimisticHopLimit = 64;
+
+char* OptimisticScratch() {
+  static thread_local std::unique_ptr<char[]> buf(new char[kPageSize]);
+  return buf.get();
+}
+}  // namespace
+
+Status TsbTree::TryGetOptimisticOnce(
+    const Slice& key, TsbTime t, std::string* value,
+    std::vector<std::pair<PageId, std::string>>* pending) {
+  BufferPool* pool = ctx_->pool;
+  char* buf = OptimisticScratch();
+  const std::string composite = CompositeKey(key, 0);
+  // Current-level side hops crossed: possibly-unposted key splits. The
+  // move-lock probe (WouldConflict) blocks on the lock-manager mutex, so
+  // hints are filtered and emitted only after the epoch section closes.
+  std::vector<PageId> side_hops;
+  Status result;
+  {
+    EpochGuard epoch;
+    if (!epoch.active()) return Status::Busy("tsb: epoch slots exhausted");
+
+    OptimisticPage cur;
+    if (!pool->FetchOptimistic(root_, &cur) ||
+        !pool->ReadConsistent(cur, buf)) {
+      return Status::Busy("tsb: root not optimistically readable");
+    }
+    // Version-coupled hop: open the child's window, re-check that the
+    // pointer we followed is still current, then copy the child over `buf`.
+    auto hop_to = [&](PageId next) -> bool {
+      OptimisticPage nxt;
+      if (!pool->FetchOptimistic(next, &nxt)) return false;
+      if (!pool->Revalidate(cur)) return false;
+      if (!pool->ReadConsistent(nxt, buf)) return false;
+      cur = nxt;
+      return true;
+    };
+
+    int hop = 0;
+    // Phase 1: descend the current tree to the leaf covering the key (the
+    // copy-out mirror of DescendToLeaf, kShared).
+    for (;; ++hop) {
+      if (hop >= kOptimisticHopLimit) {
+        return Status::Busy("tsb: optimistic hop limit exceeded");
+      }
+      if (PageGetType(buf) != PageType::kTreeNode) {
+        return Status::Busy("tsb: optimistic copy is not a tree node");
+      }
+      NodeRef node(buf);
+      if (node.is_deallocated() || !node.AtOrAboveLow(composite)) {
+        return Status::Busy("tsb: optimistic copy does not cover key");
+      }
+      if (!node.BelowHigh(composite)) {
+        PageId next = node.right_sibling();
+        if (next == kInvalidPageId) {
+          return Status::Busy("tsb: side chain ended before key");
+        }
+        stats_.side_traversals.fetch_add(1, std::memory_order_relaxed);
+        side_hops.push_back(cur.id());
+        if (!hop_to(next)) return Status::Busy("tsb: side hop failed");
+        continue;
+      }
+      if (node.is_leaf()) break;
+      int slot = node.FindChildSlot(composite);
+      if (slot < 0) return Status::Busy("tsb: no child covers key");
+      IndexTerm term;
+      if (!DecodeIndexTerm(node.EntryValue(slot), &term)) {
+        return Status::Busy("tsb: bad index term in optimistic copy");
+      }
+      if (!hop_to(term.child)) return Status::Busy("tsb: child hop failed");
+    }
+
+    // Phase 2: resolve the version along the history chain (the copy-out
+    // mirror of ReadVersionInChain; see its comment for the invariant).
+    const std::string probe = CompositeKey(key, t);
+    for (;; ++hop) {
+      if (hop >= kOptimisticHopLimit) {
+        return Status::Busy("tsb: optimistic hop limit exceeded");
+      }
+      NodeRef node(buf);
+      bool found;
+      int slot = node.FindSlot(probe, &found);
+      int candidate = found ? slot : slot - 1;
+      bool answered = false;
+      if (candidate >= 0) {
+        Slice ukey;
+        TsbTime vt;
+        if (SplitComposite(node.EntryKey(candidate), &ukey, &vt) &&
+            ukey == key) {
+          Slice v = node.EntryValue(candidate);
+          if (!v.empty() && v[0] == kValueTagData) {
+            if (value != nullptr) {
+              value->assign(v.data() + 1, v.size() - 1);
+            }
+            result = Status::OK();
+          } else {
+            result = Status::NotFound("tombstoned");
+          }
+          answered = true;
+        }
+      }
+      if (answered) break;
+      HistoryTerm hist;
+      if (GetHistoryTerm(node, &hist) && t <= hist.split_time) {
+        stats_.history_hops.fetch_add(1, std::memory_order_relaxed);
+        if (!hop_to(hist.page)) {
+          return Status::Busy("tsb: history hop failed");
+        }
+        continue;
+      }
+      result = Status::NotFound("no version");
+      break;
+    }
+  }
+  // Epoch closed: emit the same unposted-split hints a latched descent
+  // would, gated by the §4.2.2 move-lock visibility probe.
+  if (pending != nullptr) {
+    for (PageId pid : side_hops) {
+      if (!ctx_->locks->WouldConflict(kInvalidTxnId, PageLockName(pid),
+                                      LockMode::kIU)) {
+        pending->emplace_back(pid, key.ToString());
+      }
+    }
+  }
+  return result;
+}
+
+Status TsbTree::GetOptimistic(
+    const Slice& key, TsbTime t, std::string* value,
+    std::vector<std::pair<PageId, std::string>>* pending) {
+  for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+    Status s = TryGetOptimisticOnce(key, t, value, pending);
+    if (!s.IsBusy()) {
+      stats_.optimistic_gets.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  return Status::Busy("tsb: optimistic read did not settle");
+}
+
 Status TsbTree::GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
                         std::string* value) {
   if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
   std::vector<std::pair<PageId, std::string>> pending;
+  if (ctx_->options.optimistic_reads) {
+    // Lock-first 2PL (DESIGN.md §15): the record lock name needs no
+    // descent, so take the S lock before the epoch section — no latches
+    // held makes the blocking wait trivially No-Wait-safe (§4.1.2). The
+    // latched fallback below re-requests the same lock; the conversion
+    // path grants a re-lock by the owner immediately.
+    if (txn != nullptr) {
+      PITREE_RETURN_IF_ERROR(ctx_->locks->Lock(
+          txn, RecordLockName(root_, key), LockMode::kS, /*wait=*/true));
+    }
+    Status s = GetOptimistic(key, t, value, &pending);
+    if (!s.IsBusy()) {
+      for (const auto& [pid, k] : pending) {
+        (void)PostKeySplit(k);
+      }
+      return s;
+    }
+    pending.clear();
+    stats_.optimistic_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
   PageHandle cur;
   PITREE_RETURN_IF_ERROR(
       DescendToLeaf(txn, key, LatchMode::kShared, &cur, &pending));
@@ -931,6 +1102,17 @@ Status TsbTree::ReadVersionInChain(PageHandle cur, const Slice& key,
 
 Status TsbTree::SnapshotGet(const Slice& key, TsbTime t, std::string* value) {
   if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
+  if (ctx_->options.optimistic_reads) {
+    // Latch-free AND lock-free: every version at or below a snapshot
+    // timestamp is committed and immutable, so a validated copy chain
+    // needs no record lock at all (DESIGN.md §15). MVCC snapshot reads
+    // (SnapshotTxn::Get) land here and touch no shared mutable state
+    // beyond atomic loads on the happy path. No completion hints either
+    // (pending=nullptr), mirroring the latched snapshot path.
+    Status s = GetOptimistic(key, t, value, nullptr);
+    if (!s.IsBusy()) return s;
+    stats_.optimistic_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
   // No lock-manager locks and no completion scheduling: a snapshot reader
   // is invisible to the 2PL side. The snapshot timestamp guarantees every
   // version at or below `t` is committed and immutable, and time splits

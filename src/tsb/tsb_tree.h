@@ -30,6 +30,8 @@ struct TsbStats {
   std::atomic<uint64_t> root_grows{0};
   std::atomic<uint64_t> history_hops{0};  // history sibling traversals
   std::atomic<uint64_t> side_traversals{0};
+  std::atomic<uint64_t> optimistic_gets{0};       // latch-free read successes
+  std::atomic<uint64_t> optimistic_fallbacks{0};  // Busy -> latched descent
 };
 
 /// One version returned by history queries.
@@ -188,6 +190,26 @@ class TsbTree {
   Status WriteCurrent(Transaction* txn, const Slice& key, bool tombstone,
                       const Slice& value);
   TsbTime AllocateVersionTs(Transaction* txn);
+
+  /// Latch-free as-of lookup (DESIGN.md §15): bounded retries of
+  /// TryGetOptimisticOnce; Busy means the optimistic regime could not
+  /// settle and the caller must take the latched path. GetAsOf callers
+  /// hold the S record lock first (lock-first 2PL); SnapshotGet needs no
+  /// lock at all — versions at or below a snapshot time are immutable.
+  /// `pending` (nullable, like DescendToLeaf's) receives unposted-key-split
+  /// completion hints noticed along the way.
+  Status GetOptimistic(const Slice& key, TsbTime t, std::string* value,
+                       std::vector<std::pair<PageId, std::string>>* pending);
+
+  /// One epoch-guarded copy-out traversal: descends the current tree by
+  /// CompositeKey(key, 0) with version coupling, then resolves the version
+  /// along the history chain on validated copies (the latch-free mirror of
+  /// DescendToLeaf + ReadVersionInChain). Completion hints are appended to
+  /// `pending` only after the epoch section closes (the move-lock probe
+  /// blocks on the lock-manager mutex).
+  Status TryGetOptimisticOnce(
+      const Slice& key, TsbTime t, std::string* value,
+      std::vector<std::pair<PageId, std::string>>* pending);
 
   /// Resolves `key` at time `t` starting from the S-latched chain node
   /// `cur` (the current leaf covering the key), following history sibling

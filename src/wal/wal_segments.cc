@@ -38,7 +38,7 @@ Status DecodeFloorHint(const std::string& in, uint64_t* first_seq) {
 }  // namespace
 
 std::string WalSegmentFileName(const std::string& base, uint64_t seq) {
-  char buf[16];
+  char buf[32];
   snprintf(buf, sizeof(buf), ".%06llu", static_cast<unsigned long long>(seq));
   return base + buf;
 }

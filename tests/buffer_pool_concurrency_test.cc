@@ -221,5 +221,94 @@ TEST_F(BufferPoolConcurrencyTest, DirtyPageTableNeverUnderReports) {
   EXPECT_TRUE(pool.CheckConsistency().ok());
 }
 
+// Optimistic-read storm (DESIGN.md §15): latch-free readers race X-latched
+// writers and constant eviction churn (4x more pages than frames). Writers
+// keep a per-page sequence number mirrored at two offsets; a copy that
+// validates must be internally consistent (mirrors equal) and must belong
+// to the requested page (id stamp) — a torn or misdirected copy that
+// survives validation fails the assertions. Runs in the TSan CI job: the
+// seqlock byte copy is annotated, every other access must be clean.
+TEST_F(BufferPoolConcurrencyTest, OptimisticReadsVsWritersAndEvictionStorm) {
+  BufferPool pool(&disk_, /*capacity=*/32, TrackingWal(), /*shard_count=*/2);
+  constexpr PageId kPages = 128;
+  constexpr size_t kIdOff = kPageHeaderSize;
+  constexpr size_t kSeqOffA = kPageHeaderSize + 8;
+  constexpr size_t kSeqOffB = kPageHeaderSize + 16;
+  for (PageId id = 0; id < kPages; ++id) {
+    PageHandle h;
+    ASSERT_TRUE(pool.FetchPageZeroed(id, &h).ok());
+    PageInitHeader(h.data(), id, PageType::kTreeNode);
+    uint64_t stamp = id;
+    memcpy(h.data() + kIdOff, &stamp, sizeof stamp);
+    h.MarkDirty(1);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<Lsn> next_lsn{2};
+  std::atomic<uint64_t> validated{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Random rng(TestSeed(7001 + t));
+      std::vector<char> buf(kPageSize);
+      while (!stop.load(std::memory_order_acquire)) {
+        const PageId id = rng.Uniform(kPages);
+        bool ok = false;
+        {
+          EpochGuard g;
+          if (g.active()) {
+            OptimisticPage p;
+            ok = pool.FetchOptimistic(id, &p) &&
+                 pool.ReadConsistent(p, buf.data());
+          }
+        }
+        if (!ok) {
+          // Cold page or validation failure: the latched path (outside the
+          // epoch section — blocking acquires are banned inside).
+          PageHandle h;
+          ASSERT_TRUE(pool.FetchPage(id, &h).ok());
+          h.latch().AcquireS();
+          memcpy(buf.data(), h.data(), kPageSize);
+          h.latch().ReleaseS();
+        } else {
+          validated.fetch_add(1, std::memory_order_relaxed);
+        }
+        uint64_t stamp, sa, sb;
+        memcpy(&stamp, buf.data() + kIdOff, sizeof stamp);
+        memcpy(&sa, buf.data() + kSeqOffA, sizeof sa);
+        memcpy(&sb, buf.data() + kSeqOffB, sizeof sb);
+        ASSERT_EQ(stamp, id) << "copy belongs to the wrong page";
+        ASSERT_EQ(sa, sb) << "torn copy survived validation";
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      Random rng(TestSeed(8001 + t));
+      for (int i = 0; i < 1500; ++i) {
+        const PageId id = rng.Uniform(kPages);
+        PageHandle h;
+        ASSERT_TRUE(pool.FetchPage(id, &h).ok());
+        h.latch().AcquireX();
+        uint64_t seq;
+        memcpy(&seq, h.data() + kSeqOffA, sizeof seq);
+        ++seq;
+        memcpy(h.data() + kSeqOffA, &seq, sizeof seq);
+        memcpy(h.data() + kSeqOffB, &seq, sizeof seq);
+        h.MarkDirty(next_lsn.fetch_add(1));
+        h.latch().ReleaseX();
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  // The storm must actually have exercised the optimistic path.
+  EXPECT_GT(validated.load(), 0u);
+  EXPECT_GT(pool.Stats().total.opt_hits, 0u);
+  EXPECT_TRUE(pool.CheckConsistency().ok());
+}
+
 }  // namespace
 }  // namespace pitree

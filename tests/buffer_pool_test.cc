@@ -275,5 +275,95 @@ TEST_F(BufferPoolTest, ShardedPoolServesDistinctPagesAndEvicts) {
   EXPECT_TRUE(p.DirtyPageTable().empty());
 }
 
+// ---- optimistic fetch path (DESIGN.md §15) --------------------------------
+
+// The PR's acceptance criterion: an uncontended optimistic hit performs
+// zero shard-mutex acquisitions and zero latch-word writes. Both are proven
+// with counters — mutex_acquires counts every ShardLock, and the frame's
+// version word would differ if any read had written it.
+TEST_F(BufferPoolTest, OptimisticHitTakesNoMutexAndWritesNoLatchWord) {
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(3, &h).ok());
+    PageInitHeader(h.data(), 3, PageType::kTreeNode);
+    memcpy(h.data() + kPageHeaderSize, "olc", 3);
+  }
+  uint64_t word_before = 0;
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPage(3, &h).ok());
+    word_before = h.latch().OptimisticBegin();
+  }
+  const PoolShardStats before = pool_->Stats().total;
+  constexpr uint64_t kReads = 100;
+  std::vector<char> buf(kPageSize);
+  {
+    EpochGuard g;
+    ASSERT_TRUE(g.active());
+    for (uint64_t i = 0; i < kReads; ++i) {
+      OptimisticPage p;
+      ASSERT_TRUE(pool_->FetchOptimistic(3, &p));
+      EXPECT_EQ(p.id(), 3u);
+      ASSERT_TRUE(pool_->ReadConsistent(p, buf.data()));
+      ASSERT_EQ(memcmp(buf.data() + kPageHeaderSize, "olc", 3), 0);
+    }
+  }
+  const PoolShardStats after = pool_->Stats().total;
+  EXPECT_EQ(after.mutex_acquires, before.mutex_acquires);
+  EXPECT_EQ(after.opt_hits, before.opt_hits + kReads);
+  EXPECT_EQ(after.opt_fallbacks, before.opt_fallbacks);
+  PageHandle h;
+  ASSERT_TRUE(pool_->FetchPage(3, &h).ok());
+  EXPECT_EQ(h.latch().OptimisticBegin(), word_before);
+}
+
+TEST_F(BufferPoolTest, OptimisticFetchMissesOutsideEpochAndWhenNotResident) {
+  OptimisticPage p;
+  // No epoch section: refused (and counted as a fallback).
+  EXPECT_FALSE(pool_->FetchOptimistic(3, &p));
+  EpochGuard g;
+  ASSERT_TRUE(g.active());
+  // Never fetched: not in the lock-free index.
+  EXPECT_FALSE(pool_->FetchOptimistic(99, &p));
+  const PoolShardStats s = pool_->Stats().total;
+  EXPECT_GE(s.opt_fallbacks, 2u);
+}
+
+// Eviction must invalidate outstanding optimistic references: the frame's
+// version word is bumped when its identity changes, so copies resolved
+// before the eviction can never validate afterwards.
+TEST_F(BufferPoolTest, EvictionInvalidatesOptimisticReferences) {
+  {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(2, &h).ok());
+    PageInitHeader(h.data(), 2, PageType::kTreeNode);
+  }
+  std::vector<char> buf(kPageSize);
+  OptimisticPage p;
+  {
+    EpochGuard g;
+    ASSERT_TRUE(g.active());
+    ASSERT_TRUE(pool_->FetchOptimistic(2, &p));
+    ASSERT_TRUE(pool_->ReadConsistent(p, buf.data()));
+  }
+  // Outside any epoch, churn the 4-frame pool until page 2 is displaced.
+  for (PageId id = 50; id < 58; ++id) {
+    PageHandle h;
+    ASSERT_TRUE(pool_->FetchPageZeroed(id, &h).ok());
+  }
+  {
+    EpochGuard g;
+    ASSERT_TRUE(g.active());
+    EXPECT_FALSE(pool_->Revalidate(p));
+    EXPECT_FALSE(pool_->ReadConsistent(p, buf.data()));
+    // A fresh resolution must not hand back the stale identity either.
+    OptimisticPage q;
+    if (pool_->FetchOptimistic(2, &q)) {
+      EXPECT_TRUE(false) << "page 2 was evicted; the index must miss";
+    }
+  }
+  EXPECT_TRUE(pool_->CheckConsistency().ok());
+}
+
 }  // namespace
 }  // namespace pitree

@@ -30,7 +30,9 @@ namespace {
 using harness::CheckOnlineRecoveryOracle;
 using harness::CheckPostRecoveryOracle;
 using harness::ExplorerConfig;
+using harness::GetOnlineOptimisticTotals;
 using harness::MaterializeCrashImage;
+using harness::OnlineOptimisticTotals;
 using harness::RunScriptedWorkload;
 using harness::TornVariant;
 using harness::WorkloadTrace;
@@ -156,11 +158,23 @@ TEST(CrashExplorerTest, OnlineRecoveryServesTrafficUnderOracle) {
     }
   }
 
+  // The §15 optimistic read path must have genuinely run against the
+  // commit-watermark oracle while lazy redo was still draining: across the
+  // whole online regime the mid-recovery traffic phases must score optimistic
+  // hits (pages pending in the RecoveryMap are unpublished, so those reads
+  // fall back to the latched path — that is the designed interaction, not a
+  // failure, hence hits > 0 rather than fallbacks == 0).
+  const OnlineOptimisticTotals opt = GetOnlineOptimisticTotals();
+  EXPECT_GT(opt.hits, 0u)
+      << "no optimistic read ever validated during online recovery";
+
   std::cout << "[explorer/online] seed=" << cfg.seed
             << " sync_points=" << trace.events.size()
             << " clean_crash_states=" << clean_states
             << " torn_variants=" << torn_states
-            << " online_recoveries=" << clean_states + torn_states << "\n";
+            << " online_recoveries=" << clean_states + torn_states
+            << " opt_hits=" << opt.hits << " opt_fallbacks=" << opt.fallbacks
+            << "\n";
 }
 
 // The continuous-checkpointing regime (DESIGN.md §14): the same explorer,

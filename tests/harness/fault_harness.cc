@@ -20,6 +20,11 @@ namespace harness {
 
 namespace {
 
+// Process-wide accumulators behind GetOnlineOptimisticTotals(): the explorer
+// sums them over every crash point it replays online.
+std::atomic<uint64_t> g_online_opt_hits{0};
+std::atomic<uint64_t> g_online_opt_fallbacks{0};
+
 std::string Key(int i) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "key%08d", i);
@@ -585,6 +590,12 @@ namespace {
       }
     });
     for (auto& th : threads) th.join();
+    // Capture the optimistic-read counters while the sweeper may still be
+    // draining: these reads ran against the commit-watermark oracle above.
+    const PoolShardStats pstats = db->pool_stats().total;
+    g_online_opt_hits.fetch_add(pstats.opt_hits, std::memory_order_relaxed);
+    g_online_opt_fallbacks.fetch_add(pstats.opt_fallbacks,
+                                     std::memory_order_relaxed);
     if (traffic_errors.load() != 0) {
       return fail() << traffic_errors.load()
                     << " online ops failed; first: " << first_error;
@@ -618,6 +629,11 @@ namespace {
 
   // With history fully repeated, the full offline oracle must hold.
   return VerifyRecoveredDb(db.get(), trace, prefix_end, max_commit_ts, label);
+}
+
+OnlineOptimisticTotals GetOnlineOptimisticTotals() {
+  return {g_online_opt_hits.load(std::memory_order_relaxed),
+          g_online_opt_fallbacks.load(std::memory_order_relaxed)};
 }
 
 }  // namespace harness

@@ -123,6 +123,19 @@ Lsn ValidWalPrefix(SimEnv* env, const std::string& wal_base);
     SimEnv* env, const WorkloadTrace& trace, const ExplorerConfig& cfg,
     const std::string& label);
 
+/// Buffer-pool optimistic-read counters (DESIGN.md §15) accumulated across
+/// every CheckOnlineRecoveryOracle run in this process, captured right
+/// after the mid-recovery traffic phase. The explorer asserts hits > 0
+/// over the online regime: optimistic reads genuinely ran against the
+/// commit-watermark oracle while lazy redo was still draining (fallbacks
+/// cover the pages still pending in the RecoveryMap, which the optimistic
+/// index must miss by construction).
+struct OnlineOptimisticTotals {
+  uint64_t hits = 0;
+  uint64_t fallbacks = 0;
+};
+OnlineOptimisticTotals GetOnlineOptimisticTotals();
+
 }  // namespace harness
 }  // namespace pitree
 

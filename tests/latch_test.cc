@@ -202,5 +202,66 @@ TEST(LatchTest, ReadersProgressAlongsideUHolder) {
   l.ReleaseU();
 }
 
+// ---- version word (optimistic latch coupling, DESIGN.md §15) --------------
+
+TEST(LatchTest, SharedAndUpdateNeverTouchTheVersionWord) {
+  Latch l;
+  const uint64_t w0 = l.OptimisticBegin();
+  l.AcquireS();
+  EXPECT_EQ(l.OptimisticBegin(), w0);
+  l.ReleaseS();
+  l.AcquireU();
+  EXPECT_EQ(l.OptimisticBegin(), w0);
+  l.ReleaseU();
+  EXPECT_TRUE(l.Validate(w0));
+}
+
+TEST(LatchTest, ExclusiveLocksWordAndReleaseBumpsVersion) {
+  Latch l;
+  const uint64_t w0 = l.OptimisticBegin();
+  EXPECT_FALSE(Latch::IsLocked(w0));
+  l.AcquireX();
+  const uint64_t locked = l.OptimisticBegin();
+  EXPECT_TRUE(Latch::IsLocked(locked));
+  EXPECT_FALSE(l.Validate(w0));      // reader must not trust bytes mid-write
+  EXPECT_FALSE(l.Validate(locked));  // a locked begin-word never validates
+  l.ReleaseX();
+  const uint64_t w1 = l.OptimisticBegin();
+  EXPECT_FALSE(Latch::IsLocked(w1));
+  EXPECT_NE(w1, w0);          // a write happened: old copies must die
+  EXPECT_FALSE(l.Validate(w0));
+  EXPECT_TRUE(l.Validate(w1));
+}
+
+TEST(LatchTest, PromotionLocksWordAndDemotionBumpsIt) {
+  Latch l;
+  const uint64_t w0 = l.OptimisticBegin();
+  l.AcquireU();
+  EXPECT_EQ(l.OptimisticBegin(), w0);  // U alone is still read-safe
+  l.PromoteUToX();
+  EXPECT_TRUE(Latch::IsLocked(l.OptimisticBegin()));
+  l.DemoteXToU();
+  const uint64_t w1 = l.OptimisticBegin();
+  EXPECT_FALSE(Latch::IsLocked(w1));
+  EXPECT_NE(w1, w0);  // the X term may have changed bytes
+  l.ReleaseU();
+  EXPECT_EQ(l.OptimisticBegin(), w1);
+}
+
+TEST(LatchTest, ReclaimSpanLooksLikeAWriteToReaders) {
+  Latch l;
+  const uint64_t w0 = l.OptimisticBegin();
+  ASSERT_TRUE(l.TryBeginReclaim());
+  EXPECT_TRUE(Latch::IsLocked(l.OptimisticBegin()));
+  EXPECT_FALSE(l.Validate(w0));
+  // A second reclaimer (or a concurrent X holder) must be refused.
+  EXPECT_FALSE(l.TryBeginReclaim());
+  l.EndReclaim();
+  const uint64_t w1 = l.OptimisticBegin();
+  EXPECT_FALSE(Latch::IsLocked(w1));
+  EXPECT_NE(w1, w0);  // the frame may now hold a different page
+  EXPECT_TRUE(l.Validate(w1));
+}
+
 }  // namespace
 }  // namespace pitree
