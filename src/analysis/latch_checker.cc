@@ -213,13 +213,19 @@ void DumpAllLocked(Checker* c, std::string* out) {
 // checker mutex itself; callers must NOT hold it.
 [[noreturn]] void Report(const char* kind, const std::string& detail) {
   Checker* c = G();
+  // Resolve the TLS before taking c->mu: a thread whose FIRST checker
+  // contact is the violation itself (e.g. an epoch-discipline break with no
+  // prior latch/mutex activity) would otherwise register itself inside
+  // TlsGuard's constructor — which takes c->mu — and self-deadlock instead
+  // of aborting with the report.
+  const uint64_t tid = Tls()->id;
   std::string out = "\n=== PITREE INVARIANT VIOLATION: ";
   out += kind;
   out += " ===\n";
   {
     std::lock_guard<std::mutex> lk(c->mu);
     char buf[64];
-    std::snprintf(buf, sizeof buf, "  thread %" PRIu64 ": ", Tls()->id);
+    std::snprintf(buf, sizeof buf, "  thread %" PRIu64 ": ", tid);
     out += buf;
     out += detail;
     out += "\n";

@@ -1,0 +1,121 @@
+#ifndef PITREE_COMMON_THREAD_ANNOTATIONS_H_
+#define PITREE_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (DESIGN.md §16).
+///
+/// These expand to __attribute__((...)) under clang — where the CI
+/// `clang-thread-safety` job compiles src/ with `-Wthread-safety
+/// -Werror=thread-safety` — and to nothing under gcc, which does not
+/// implement the analysis. The macros are the *static* half of the engine's
+/// concurrency proofs: the dynamic §4.1 checker (src/analysis/) validates
+/// paths that execute; the annotations let clang prove, over every compiled
+/// path, that
+///   - fields marked GUARDED_BY are only touched with their mutex held,
+///   - functions marked REQUIRES are only entered with it held,
+///   - scoped locks (SCOPED_CAPABILITY) balance on every exit path.
+///
+/// What clang's analysis cannot express — the §4.1 acquisition rank order,
+/// latch holds that intentionally cross function boundaries (descents,
+/// saved paths), the epoch/OLC discipline — is checked instead by the
+/// interprocedural analyzer (tools/analyze/concurrency_analyzer.py).
+///
+/// Escape-hatch convention: every use of NO_THREAD_SAFETY_ANALYSIS must
+/// carry a `lint:tsa-escape -- <reason>` marker comment on the same line or
+/// the line directly above, naming the discipline that covers the function
+/// instead (usually "§4.1 cross-function latch flow; runtime checker +
+/// tools/analyze"). tools/lint/pitree_lint.py enforces the marker, so an
+/// unaudited escape cannot land.
+
+#if defined(__clang__) && !defined(SWIG)
+#define PITREE_TSA_ATTR_(x) __attribute__((x))
+#else
+#define PITREE_TSA_ATTR_(x)  // no-op
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) PITREE_TSA_ATTR_(capability(x))
+#endif
+
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY PITREE_TSA_ATTR_(scoped_lockable)
+#endif
+
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) PITREE_TSA_ATTR_(guarded_by(x))
+#endif
+
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) PITREE_TSA_ATTR_(pt_guarded_by(x))
+#endif
+
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) PITREE_TSA_ATTR_(acquired_before(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) PITREE_TSA_ATTR_(acquired_after(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES
+#define REQUIRES(...) PITREE_TSA_ATTR_(requires_capability(__VA_ARGS__))
+#endif
+
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  PITREE_TSA_ATTR_(requires_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE
+#define ACQUIRE(...) PITREE_TSA_ATTR_(acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  PITREE_TSA_ATTR_(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE
+#define RELEASE(...) PITREE_TSA_ATTR_(release_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  PITREE_TSA_ATTR_(release_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef RELEASE_GENERIC
+#define RELEASE_GENERIC(...) \
+  PITREE_TSA_ATTR_(release_generic_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) PITREE_TSA_ATTR_(try_acquire_capability(__VA_ARGS__))
+#endif
+
+#ifndef TRY_ACQUIRE_SHARED
+#define TRY_ACQUIRE_SHARED(...) \
+  PITREE_TSA_ATTR_(try_acquire_shared_capability(__VA_ARGS__))
+#endif
+
+#ifndef EXCLUDES
+#define EXCLUDES(...) PITREE_TSA_ATTR_(locks_excluded(__VA_ARGS__))
+#endif
+
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) PITREE_TSA_ATTR_(assert_capability(x))
+#endif
+
+#ifndef ASSERT_SHARED_CAPABILITY
+#define ASSERT_SHARED_CAPABILITY(x) \
+  PITREE_TSA_ATTR_(assert_shared_capability(x))
+#endif
+
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) PITREE_TSA_ATTR_(lock_returned(x))
+#endif
+
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS PITREE_TSA_ATTR_(no_thread_safety_analysis)
+#endif
+
+#endif  // PITREE_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,16 +2,16 @@
 #define PITREE_DB_DATABASE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/options.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "engine/engine_context.h"
 #include "env/env.h"
 #include "maintenance/maintenance_service.h"
@@ -166,21 +166,24 @@ class Database {
   std::unique_ptr<MaintenanceService> maintenance_;
   std::unique_ptr<PiTree> catalog_;
 
-  std::mutex trees_mu_;
-  std::unordered_map<PageId, std::unique_ptr<PiTree>> trees_;
-  std::unordered_map<PageId, std::unique_ptr<TsbTree>> tsb_trees_;
+  Mutex trees_mu_;
+  std::unordered_map<PageId, std::unique_ptr<PiTree>> trees_
+      GUARDED_BY(trees_mu_);
+  std::unordered_map<PageId, std::unique_ptr<TsbTree>> tsb_trees_
+      GUARDED_BY(trees_mu_);
 
-  std::mutex maint_mu_;  // sweep cursors + audit RNG
-  std::unordered_map<PageId, std::string> sweep_cursors_;
-  Random audit_rnd_{0xA0D17};
+  Mutex maint_mu_;  // sweep cursors + audit RNG
+  std::unordered_map<PageId, std::string> sweep_cursors_
+      GUARDED_BY(maint_mu_);
+  Random audit_rnd_ GUARDED_BY(maint_mu_){0xA0D17};
 
   std::thread recovery_sweeper_;
   std::atomic<bool> sweeper_stop_{false};
 
   std::thread checkpointer_;
-  std::mutex checkpointer_mu_;
-  std::condition_variable checkpointer_cv_;
-  bool checkpointer_stop_ = false;  // under checkpointer_mu_
+  Mutex checkpointer_mu_;
+  CondVar checkpointer_cv_;
+  bool checkpointer_stop_ GUARDED_BY(checkpointer_mu_) = false;
   std::atomic<uint64_t> checkpoints_taken_{0};
 };
 

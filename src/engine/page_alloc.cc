@@ -1,5 +1,6 @@
 // lint:allow-naked-latch -- space-map page X latch, taken last (§4.1
 // container order, Rank::kSpaceMap); audited with the protocol checker.
+#include "common/thread_annotations.h"
 #include "engine/page_alloc.h"
 
 #include "engine/log_apply.h"
@@ -7,7 +8,11 @@
 
 namespace pitree {
 
-Status EngineAllocPage(EngineContext* ctx, Transaction* txn, PageId* out) {
+// lint:tsa-escape -- bootstrap/recovery latches pages across helper
+// calls and error paths; checked by the runtime checker and
+// tools/analyze.
+Status EngineAllocPage(EngineContext* ctx, Transaction* txn, PageId* out)
+    NO_THREAD_SAFETY_ANALYSIS {
   PageHandle sm;
   PITREE_RETURN_IF_ERROR(ctx->pool->FetchPage(kSpaceMapPage, &sm));
   sm.latch().AcquireX();
@@ -24,7 +29,11 @@ Status EngineAllocPage(EngineContext* ctx, Transaction* txn, PageId* out) {
   return s;
 }
 
-Status EngineFreePage(EngineContext* ctx, Transaction* txn, PageId page) {
+// lint:tsa-escape -- bootstrap/recovery latches pages across helper
+// calls and error paths; checked by the runtime checker and
+// tools/analyze.
+Status EngineFreePage(EngineContext* ctx, Transaction* txn, PageId page)
+    NO_THREAD_SAFETY_ANALYSIS {
   PageHandle sm;
   PITREE_RETURN_IF_ERROR(ctx->pool->FetchPage(kSpaceMapPage, &sm));
   sm.latch().AcquireX();

@@ -54,7 +54,7 @@ Status MaintenanceService::ExecuteWithRetry(size_t shard,
     // a hint, so shedding it is safe; count it and keep the worker alive so
     // the pool drains and shuts down sanely even on dead storage.
     failed_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(sweep_mu_);
+    MutexLock lk(&sweep_mu_);
     last_failure_ = s.ToString();
     return s;
   }
@@ -84,7 +84,7 @@ void MaintenanceService::Start() {
       workers_running_.compare_exchange_strong(expected, true)) {
     for (auto& q : shards_) q->StartBackground();
   }
-  std::lock_guard<std::mutex> lk(sweep_mu_);
+  MutexLock lk(&sweep_mu_);
   if (sweep_interval_ms_ > 0 && !sweeper_running_) {
     sweeper_stop_ = false;
     sweeper_running_ = true;
@@ -96,7 +96,7 @@ void MaintenanceService::Stop() {
   // Sweeper first: it is a producer of new jobs.
   std::thread sweeper;
   {
-    std::lock_guard<std::mutex> lk(sweep_mu_);
+    MutexLock lk(&sweep_mu_);
     if (sweeper_running_) {
       sweeper_stop_ = true;
       sweeper = std::move(sweeper_);
@@ -104,7 +104,7 @@ void MaintenanceService::Stop() {
     }
   }
   if (sweeper.joinable()) {
-    sweep_cv_.notify_all();
+    sweep_cv_.NotifyAll();
     sweeper.join();
   }
   if (workers_running_.exchange(false)) {
@@ -145,14 +145,14 @@ size_t MaintenanceService::QueueDepth() const {
 }
 
 void MaintenanceService::RegisterSweepTask(std::string name, SweepTask task) {
-  std::lock_guard<std::mutex> lk(sweep_mu_);
+  MutexLock lk(&sweep_mu_);
   sweep_tasks_.emplace_back(std::move(name), std::move(task));
 }
 
 void MaintenanceService::RunSweepTasksOnce() {
   std::vector<std::pair<std::string, SweepTask>> tasks;
   {
-    std::lock_guard<std::mutex> lk(sweep_mu_);
+    MutexLock lk(&sweep_mu_);
     tasks = sweep_tasks_;
   }
   for (auto& [name, task] : tasks) task();
@@ -160,14 +160,17 @@ void MaintenanceService::RunSweepTasksOnce() {
 }
 
 void MaintenanceService::SweeperLoop() {
-  std::unique_lock<std::mutex> lk(sweep_mu_);
+  ReleasableMutexLock lk(&sweep_mu_);
   while (!sweeper_stop_) {
-    sweep_cv_.wait_for(lk, std::chrono::milliseconds(sweep_interval_ms_),
-                       [&] { return sweeper_stop_; });
+    // Timed nap; Stop() notifies to end it early. A spurious wakeup just
+    // starts the next cycle sooner, which is harmless — the loop still
+    // blocks here every iteration, so there is no spin.
+    (void)sweep_cv_.WaitFor(sweep_mu_,
+                            std::chrono::milliseconds(sweep_interval_ms_));
     if (sweeper_stop_) return;
-    lk.unlock();
+    lk.Unlock();
     RunSweepTasksOnce();
-    lk.lock();
+    lk.Lock();
   }
 }
 
@@ -185,7 +188,7 @@ void MaintenanceService::NoteAudit(size_t paths, size_t nodes_checked,
   audit_nodes_.fetch_add(nodes_checked, std::memory_order_relaxed);
   if (violations > 0) {
     audit_violations_.fetch_add(violations, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(sweep_mu_);
+    MutexLock lk(&sweep_mu_);
     last_audit_violation_ = report;
   }
 }
@@ -215,12 +218,12 @@ MaintenanceStats MaintenanceService::StatsSnapshot() const {
 }
 
 std::string MaintenanceService::last_audit_violation() const {
-  std::lock_guard<std::mutex> lk(sweep_mu_);
+  MutexLock lk(&sweep_mu_);
   return last_audit_violation_;
 }
 
 std::string MaintenanceService::last_failure() const {
-  std::lock_guard<std::mutex> lk(sweep_mu_);
+  MutexLock lk(&sweep_mu_);
   return last_failure_;
 }
 

@@ -2,18 +2,18 @@
 #define PITREE_MAINTENANCE_MAINTENANCE_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/options.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "pitree/completion.h"
 
 namespace pitree {
@@ -148,14 +148,15 @@ class MaintenanceService {
   std::atomic<uint64_t> audit_nodes_{0};
   std::atomic<uint64_t> audit_violations_{0};
 
-  mutable std::mutex sweep_mu_;  // sweeper lifecycle, tasks, last report
-  std::condition_variable sweep_cv_;
-  std::vector<std::pair<std::string, SweepTask>> sweep_tasks_;
-  std::string last_audit_violation_;
-  std::string last_failure_;
-  std::thread sweeper_;
-  bool sweeper_running_ = false;
-  bool sweeper_stop_ = false;
+  mutable Mutex sweep_mu_;  // sweeper lifecycle, tasks, last report
+  CondVar sweep_cv_;
+  std::vector<std::pair<std::string, SweepTask>> sweep_tasks_
+      GUARDED_BY(sweep_mu_);
+  std::string last_audit_violation_ GUARDED_BY(sweep_mu_);
+  std::string last_failure_ GUARDED_BY(sweep_mu_);
+  std::thread sweeper_ GUARDED_BY(sweep_mu_);
+  bool sweeper_running_ GUARDED_BY(sweep_mu_) = false;
+  bool sweeper_stop_ GUARDED_BY(sweep_mu_) = false;
 };
 
 }  // namespace pitree

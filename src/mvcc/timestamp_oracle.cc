@@ -5,7 +5,7 @@
 namespace pitree {
 
 Timestamp TimestampOracle::RegisterWriter(TxnId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = writers_.find(id);
   if (it != writers_.end()) return it->second;
   // Allocate under mu_: a concurrent BeginSnapshot either sees this writer
@@ -19,7 +19,7 @@ Timestamp TimestampOracle::RegisterWriter(TxnId id) {
 }
 
 void TimestampOracle::DeregisterWriter(TxnId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = writers_.find(id);
   if (it == writers_.end()) return;
   auto ts_it = writer_ts_.find(it->second);
@@ -46,26 +46,26 @@ Timestamp TimestampOracle::VisibleLocked() const {
 }
 
 Timestamp TimestampOracle::BeginSnapshot() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   Timestamp snap = VisibleLocked();
   snapshots_.insert(snap);
   return snap;
 }
 
 void TimestampOracle::EndSnapshot(Timestamp ts) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = snapshots_.find(ts);
   assert(it != snapshots_.end());
   if (it != snapshots_.end()) snapshots_.erase(it);
 }
 
 Timestamp TimestampOracle::visible_ts() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return VisibleLocked();
 }
 
 Timestamp TimestampOracle::low_watermark() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!snapshots_.empty()) return *snapshots_.begin();
   return VisibleLocked();
 }
@@ -79,12 +79,12 @@ void TimestampOracle::RecoverTo(Timestamp max_committed) {
 }
 
 size_t TimestampOracle::active_writers() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return writers_.size();
 }
 
 size_t TimestampOracle::active_snapshots() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return snapshots_.size();
 }
 

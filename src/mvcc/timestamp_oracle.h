@@ -4,9 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace pitree {
@@ -91,15 +92,18 @@ class TimestampOracle {
   size_t active_snapshots() const;
 
  private:
-  Timestamp VisibleLocked() const;  // requires mu_
+  Timestamp VisibleLocked() const REQUIRES(mu_);
 
   std::atomic<Timestamp> clock_{1};    // last issued
   std::atomic<Timestamp> visible_{0};  // all commits <= this are published
 
-  mutable std::mutex mu_;
-  std::map<TxnId, Timestamp> writers_;   // active writer registrations
-  std::multiset<Timestamp> writer_ts_;   // their timestamps, ordered
-  std::multiset<Timestamp> snapshots_;   // active snapshot timestamps
+  mutable Mutex mu_;
+  /// Active writer registrations.
+  std::map<TxnId, Timestamp> writers_ GUARDED_BY(mu_);
+  /// Their timestamps, ordered.
+  std::multiset<Timestamp> writer_ts_ GUARDED_BY(mu_);
+  /// Active snapshot timestamps.
+  std::multiset<Timestamp> snapshots_ GUARDED_BY(mu_);
 };
 
 }  // namespace pitree

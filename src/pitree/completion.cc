@@ -4,7 +4,7 @@ namespace pitree {
 
 CompletionQueue::Admit CompletionQueue::Enqueue(CompletionJob job) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (capacity_ != 0 && queue_.size() >= capacity_) {
       // Dropping is safe: the job is a hint, and the next traversal that
       // crosses the still-unposted side pointer re-schedules it (§5.1).
@@ -18,7 +18,7 @@ CompletionQueue::Admit CompletionQueue::Enqueue(CompletionJob job) {
     queue_.push_back(std::move(job));
   }
   enqueued_.fetch_add(1, std::memory_order_relaxed);
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Admit::kQueued;
 }
 
@@ -37,7 +37,7 @@ void CompletionQueue::Drain() {
   for (;;) {
     CompletionJob job;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (!PopFrontLocked(&job)) return;
     }
     if (executor_) executor_(job).ok();
@@ -46,7 +46,7 @@ void CompletionQueue::Drain() {
 }
 
 std::vector<CompletionJob> CompletionQueue::TakeAll() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<CompletionJob> out(std::make_move_iterator(queue_.begin()),
                                  std::make_move_iterator(queue_.end()));
   queue_.clear();
@@ -55,12 +55,12 @@ std::vector<CompletionJob> CompletionQueue::TakeAll() {
 }
 
 size_t CompletionQueue::depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return queue_.size();
 }
 
 void CompletionQueue::StartBackground() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (worker_running_) return;
   stop_ = false;
   worker_running_ = true;
@@ -70,31 +70,31 @@ void CompletionQueue::StartBackground() {
 void CompletionQueue::StopBackground() {
   std::thread worker;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (!worker_running_) return;
     stop_ = true;
     worker = std::move(worker_);
     worker_running_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   // The worker drains the queue before exiting (see WorkerLoop): a clean
   // stop never discards scheduled completing actions.
   worker.join();
 }
 
 void CompletionQueue::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  ReleasableMutexLock lk(&mu_);
   for (;;) {
-    // One predicate decides everything: sleep only while there is neither
+    // One condition decides everything: sleep only while there is neither
     // work nor a stop request. On stop the loop keeps consuming until the
     // queue is empty, so shutdown drains instead of dropping.
-    cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) cv_.Wait(mu_);
     CompletionJob job;
     if (!PopFrontLocked(&job)) return;  // empty here implies stop_
-    lk.unlock();
+    lk.Unlock();
     if (executor_) executor_(job).ok();
     executed_.fetch_add(1, std::memory_order_relaxed);
-    lk.lock();
+    lk.Lock();
   }
 }
 

@@ -2,17 +2,17 @@
 #define PITREE_PITREE_COMPLETION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "pitree/path.h"
 
@@ -98,19 +98,20 @@ class CompletionQueue {
            static_cast<uint64_t>(job.address);
   }
 
-  /// Pops the front job (and its dedup key) under mu_. False when empty.
-  bool PopFrontLocked(CompletionJob* out);
+  /// Pops the front job (and its dedup key). False when empty.
+  bool PopFrontLocked(CompletionJob* out) REQUIRES(mu_);
 
   void WorkerLoop();
 
   Executor executor_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<CompletionJob> queue_;
-  std::unordered_set<uint64_t> keys_;  // dedup index over queue_
-  std::thread worker_;
-  bool stop_ = false;
-  bool worker_running_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<CompletionJob> queue_ GUARDED_BY(mu_);
+  /// Dedup index over queue_.
+  std::unordered_set<uint64_t> keys_ GUARDED_BY(mu_);
+  std::thread worker_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool worker_running_ GUARDED_BY(mu_) = false;
   size_t capacity_ = 0;
   bool dedup_ = false;
   std::atomic<uint64_t> enqueued_{0};

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "pitree/pi_tree.h"
 
 #include <cassert>
@@ -16,7 +17,11 @@ namespace pitree {
 
 PiTree::PiTree(EngineContext* ctx, PageId root) : ctx_(ctx), root_(root) {}
 
-Status PiTree::Create(EngineContext* ctx, PageId root) {
+// lint:tsa-escape -- bootstrap/recovery latches pages across helper
+// calls and error paths; checked by the runtime checker and
+// tools/analyze.
+Status PiTree::Create(EngineContext* ctx, PageId root)
+    NO_THREAD_SAFETY_ANALYSIS {
   Transaction* action = ctx->txns->Begin(/*is_system=*/true);
   PageHandle h;
   Status s = ctx->pool->FetchPageZeroed(root, &h);
@@ -46,7 +51,10 @@ Status PiTree::Create(EngineContext* ctx, PageId root) {
 
 namespace {
 // lint:latch-helper
-void AcquireMode(Latch& latch, LatchMode mode) {
+// lint:tsa-escape -- mode-dispatched acquire: which capability kind is
+// taken is a runtime value clang cannot model; call sites are checked
+// dynamically (src/analysis/) and by tools/analyze.
+void AcquireMode(Latch& latch, LatchMode mode) NO_THREAD_SAFETY_ANALYSIS {
   switch (mode) {
     case LatchMode::kShared:
       latch.AcquireS();
@@ -108,8 +116,11 @@ void PiTree::MaybeScheduleConsolidate(OpCtx* op, const NodeRef& node,
   op->pending.push_back(std::move(job));
 }
 
+// lint:tsa-escape -- hands latched pages across the call boundary (§4.1
+// crabbing); the protocol is enforced by the runtime checker and
+// tools/analyze, not the intraprocedural static analysis.
 Status PiTree::MoveRight(OpCtx* op, const Slice& key, LatchMode mode,
-                         PageHandle* cur) {
+                         PageHandle* cur) NO_THREAD_SAFETY_ANALYSIS {
   const bool couple = ctx_->options.consolidation_enabled;  // CP vs CNS, §5.2
   for (;;) {
     // Every node the traversal touches funnels through here; a page that is
@@ -147,9 +158,13 @@ Status PiTree::MoveRight(OpCtx* op, const Slice& key, LatchMode mode,
   }
 }
 
+// lint:tsa-escape -- hands latched pages across the call boundary (§4.1
+// crabbing); the protocol is enforced by the runtime checker and
+// tools/analyze, not the intraprocedural static analysis.
 Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
                          LatchMode target_mode, bool keep_parent,
-                         const SavedPath* hint, Descent* out) {
+                         const SavedPath* hint, Descent* out)
+    NO_THREAD_SAFETY_ANALYSIS {
   const bool couple = ctx_->options.consolidation_enabled;
   op->path.Clear();
 
@@ -189,6 +204,10 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
       for (auto it = hint->nodes.rbegin(); it != hint->nodes.rend(); ++it) {
         if (it->level < target_level) continue;
         PageHandle probe;
+        // §5.2.2(b) hint probe: fetching the remembered page can read
+        // from disk while an outer descent latch is held; lock-coupled
+        // descent sanctions I/O under latches.
+        // analyze:allow-latch-io -- hint-probe fetch under descent latch
         PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(it->page, &probe));
         LatchMode m = (it->level == target_level) ? target_mode
                                                   : LatchMode::kShared;
@@ -212,6 +231,10 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
   }
 
   if (!cur.valid()) {
+    // Root re-fetch after a hint probe: any probe latch was released on
+    // the miss path; the linear over-approximation still sees a hold.
+    // Crabbing I/O under a latch is legal regardless.
+    // analyze:allow-latch-io -- probe latches released before this fetch
     PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(root_, &cur));
     NodeRef probe(cur.data());
     // Latch mode depends on the root's level, which can change (root grow);
@@ -249,6 +272,10 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
   }
 
   for (;;) {
+    // §4.1 lateral traversal: MoveRight fetches the right sibling
+    // (possible pool miss -> disk read) while the current node's latch is
+    // held; latches tolerate I/O waits by design.
+    // analyze:allow-latch-io -- crabbing sibling fetch under held latch
     PITREE_RETURN_IF_ERROR(MoveRight(op, key, cur_mode, &cur));
     NodeRef node(cur.data());
     op->path.Push(cur.id(), cur.page_lsn(), node.level());
@@ -329,9 +356,12 @@ Status PiTree::DescendTo(OpCtx* op, const Slice& key, uint8_t target_level,
 // Record locking under the No-Wait Rule (§4.1.2)
 // ---------------------------------------------------------------------------
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status PiTree::LockRecordNoWait(OpCtx* op, PageHandle* leaf, LatchMode mode,
                                 const Slice& key, LockMode lock_mode,
-                                bool* restart) {
+                                bool* restart) NO_THREAD_SAFETY_ANALYSIS {
   *restart = false;
   if (op->txn == nullptr) return Status::OK();
   std::string name = RecordLockName(root_, key);
@@ -525,7 +555,11 @@ Status PiTree::GetOptimistic(OpCtx* op, const Slice& key, std::string* value) {
 // Record operations
 // ---------------------------------------------------------------------------
 
-Status PiTree::Get(Transaction* txn, const Slice& key, std::string* value) {
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
+Status PiTree::Get(Transaction* txn, const Slice& key, std::string* value)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (key.empty()) return Status::InvalidArgument("empty key");
   OpCtx op;
   op.txn = txn;
@@ -579,8 +613,11 @@ Status PiTree::Get(Transaction* txn, const Slice& key, std::string* value) {
   return result;
 }
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status PiTree::Scan(Transaction* txn, const Slice& start, size_t limit,
-                    std::vector<NodeEntry>* out) {
+                    std::vector<NodeEntry>* out) NO_THREAD_SAFETY_ANALYSIS {
   out->clear();
   OpCtx op;
   op.txn = txn;
@@ -630,8 +667,12 @@ Status PiTree::InsertNoSplit(Transaction* txn, const Slice& key,
   return InsertImpl(txn, key, value, /*allow_split=*/false);
 }
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status PiTree::InsertImpl(Transaction* txn, const Slice& key,
-                          const Slice& value, bool allow_split) {
+                          const Slice& value, bool allow_split)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (key.empty()) return Status::InvalidArgument("empty key");
   OpCtx op;
   op.txn = txn;
@@ -716,8 +757,11 @@ Status PiTree::InsertImpl(Transaction* txn, const Slice& key,
   return result;
 }
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status PiTree::Update(Transaction* txn, const Slice& key,
-                      const Slice& value) {
+                      const Slice& value) NO_THREAD_SAFETY_ANALYSIS {
   if (key.empty()) return Status::InvalidArgument("empty key");
   OpCtx op;
   op.txn = txn;
@@ -790,7 +834,11 @@ Status PiTree::Update(Transaction* txn, const Slice& key,
   return result;
 }
 
-Status PiTree::Delete(Transaction* txn, const Slice& key) {
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
+Status PiTree::Delete(Transaction* txn, const Slice& key)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (key.empty()) return Status::InvalidArgument("empty key");
   OpCtx op;
   op.txn = txn;
@@ -867,8 +915,12 @@ std::string PiTree::LogicalUndoPayload(PageId root, const Slice& key,
   return out;
 }
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status PiTree::LogicalUndo(Transaction* txn, PageOp undo_op,
-                           const Slice& payload, Lsn undo_next) {
+                           const Slice& payload, Lsn undo_next)
+    NO_THREAD_SAFETY_ANALYSIS {
   Slice in = payload;
   uint32_t root;
   Slice key, value;

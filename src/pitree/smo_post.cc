@@ -7,13 +7,17 @@
 
 #include <map>
 
+#include "common/thread_annotations.h"
 #include "engine/log_apply.h"
 #include "pitree/pi_tree.h"
 #include "txn/txn_manager.h"
 
 namespace pitree {
 
-Status PiTree::PostIndexTerm(const CompletionJob& job) {
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
+Status PiTree::PostIndexTerm(const CompletionJob& job)
+    NO_THREAD_SAFETY_ANALYSIS {
   stats_.posts_attempted.fetch_add(1, std::memory_order_relaxed);
   if (job.level == 0) {
     return Status::InvalidArgument("cannot post index terms at the leaf level");

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/coding.h"
+#include "common/thread_annotations.h"
 #include "engine/log_apply.h"
 #include "engine/page_alloc.h"
 #include "pitree/pi_tree.h"
@@ -38,8 +39,11 @@ void PiTree::AbortAction(Transaction* action,
   ctx_->txns->Discard(action);
 }
 
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
 Status PiTree::SplitNode(Transaction* txn, PageHandle& h, PageId* new_sibling,
-                         std::map<PageId, PageHandle*>* action_pages) {
+                         std::map<PageId, PageHandle*>* action_pages)
+    NO_THREAD_SAFETY_ANALYSIS {
   NodeRef node(h.data());
   if (node.entry_count() < 2) {
     return Status::NoSpace("node too small to split (oversized record?)");
@@ -96,9 +100,11 @@ Status PiTree::SplitNode(Transaction* txn, PageHandle& h, PageId* new_sibling,
   return Status::OK();
 }
 
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
 Status PiTree::GrowRoot(Transaction* txn, PageHandle& root_h,
                         std::map<PageId, PageHandle*>* action_pages,
-                        PageId out_children[2]) {
+                        PageId out_children[2]) NO_THREAD_SAFETY_ANALYSIS {
   NodeRef root(root_h.data());
   assert(root.is_root());
   if (root.entry_count() < 2) {
@@ -181,8 +187,11 @@ Status PiTree::GrowRoot(Transaction* txn, PageHandle& root_h,
   return Status::OK();
 }
 
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
 Status PiTree::SplitLeafForInsert(OpCtx* op, PageHandle* leaf,
-                                  const Slice& key, bool* restart) {
+                                  const Slice& key, bool* restart)
+    NO_THREAD_SAFETY_ANALYSIS {
   Transaction* user = op->txn;
   const PageId leaf_pid = leaf->id();
   bool in_txn_split = false;

@@ -110,7 +110,7 @@ Status CheckpointManager::TakeCheckpoint(Lsn* out_begin, Lsn* out_floor) {
   // guard deliberately spans the checkpoint's own I/O (pool sync, WAL
   // force, master write); no append/read path ever takes this mutex.
   // lint:allow-mutex-io -- slow-path serialization, I/O is the point
-  std::lock_guard<std::mutex> serialize(checkpoint_mu_);
+  MutexLock serialize(&checkpoint_mu_);
 
   LogRecord begin;
   begin.type = LogRecordType::kCheckpointBegin;

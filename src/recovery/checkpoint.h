@@ -1,12 +1,13 @@
 #ifndef PITREE_RECOVERY_CHECKPOINT_H_
 #define PITREE_RECOVERY_CHECKPOINT_H_
 
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "env/env.h"
 #include "storage/buffer_pool.h"
@@ -93,9 +94,9 @@ class CheckpointManager {
   const std::string master_path_;
 
   /// Serializes TakeCheckpoint and orders master-file writes.
-  std::mutex checkpoint_mu_;
-  /// Largest begin LSN ever published to the master (under checkpoint_mu_).
-  Lsn published_begin_ = 0;
+  Mutex checkpoint_mu_;
+  /// Largest begin LSN ever published to the master.
+  Lsn published_begin_ GUARDED_BY(checkpoint_mu_) = 0;
 };
 
 }  // namespace pitree

@@ -1,5 +1,6 @@
 // lint:allow-naked-latch -- single-threaded redo/undo X-latches one page
 // at a time to reuse the LogAndApply idiom; audited with the checker.
+#include "common/thread_annotations.h"
 #include "recovery/recovery_manager.h"
 
 #include <algorithm>
@@ -370,10 +371,13 @@ Status RecoveryManager::RollbackTxnWithPages(
   return Status::OK();
 }
 
+// lint:tsa-escape -- bootstrap/recovery latches pages across helper
+// calls and error paths; checked by the runtime checker and
+// tools/analyze.
 Status RecoveryManager::UndoOneRecord(
     Transaction* txn, const LogRecord& rec,
     const std::map<PageId, PageHandle*>* latched, Lsn* next,
-    RecoveryStats* stats) {
+    RecoveryStats* stats) NO_THREAD_SAFETY_ANALYSIS {
   *next = rec.prev_lsn;
   if (rec.undo_op == PageOp::kNone) {
     // Redo-only record (e.g. posting that needs no undo) — nothing to do.

@@ -19,7 +19,7 @@ void RecoveryMap::Install(std::unordered_map<PageId, PendingPage> pending) {
       ++it;
     }
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   pending_ = std::move(pending);
   pending_count_.store(pending_.size(), std::memory_order_relaxed);
   records_indexed_.store(records, std::memory_order_relaxed);
@@ -35,7 +35,7 @@ Status RecoveryMap::ReplayOnto(PageId id, char* page, bool* had_entry,
   }
   PendingPage entry;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = pending_.find(id);
     if (it == pending_.end()) return Status::OK();
     entry = it->second;
@@ -70,7 +70,7 @@ Status RecoveryMap::ReplayOnto(PageId id, char* page, bool* had_entry,
 }
 
 void RecoveryMap::MarkReplayed(PageId id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (pending_.erase(id) > 0) {
     pending_count_.store(pending_.size(), std::memory_order_relaxed);
     pages_replayed_.fetch_add(1, std::memory_order_relaxed);
@@ -79,7 +79,7 @@ void RecoveryMap::MarkReplayed(PageId id) {
 
 void RecoveryMap::DiscardPending(PageId id) {
   if (pending_count_.load(std::memory_order_relaxed) == 0) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (pending_.erase(id) > 0) {
     pending_count_.store(pending_.size(), std::memory_order_relaxed);
     pages_discarded_.fetch_add(1, std::memory_order_relaxed);
@@ -88,13 +88,13 @@ void RecoveryMap::DiscardPending(PageId id) {
 
 bool RecoveryMap::HasPending(PageId id) const {
   if (pending_count_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return pending_.count(id) > 0;
 }
 
 bool RecoveryMap::FirstPendingAtLeast(PageId floor, PageId* out) const {
   if (pending_count_.load(std::memory_order_relaxed) == 0) return false;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   bool found = false;
   PageId best = kInvalidPageId;
   for (const auto& [page, entry] : pending_) {
@@ -110,7 +110,7 @@ bool RecoveryMap::FirstPendingAtLeast(PageId floor, PageId* out) const {
 
 std::vector<std::pair<PageId, Lsn>> RecoveryMap::PendingDpt() const {
   std::vector<std::pair<PageId, Lsn>> out;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   out.reserve(pending_.size());
   for (const auto& [page, entry] : pending_) {
     out.emplace_back(page, entry.rec_lsn);

@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace pitree {
@@ -108,8 +109,8 @@ class RecoveryMap {
  private:
   WalManager* const wal_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, PendingPage> pending_;
+  mutable Mutex mu_;
+  std::unordered_map<PageId, PendingPage> pending_ GUARDED_BY(mu_);
 
   std::atomic<size_t> pending_count_{0};
   std::atomic<uint64_t> records_indexed_{0};

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "analysis/latch_checker.h"
+#include "common/mutex.h"
 
 // Checker hook placement (all empty inlines in release builds):
 //  - OnLatchAcquiring runs BEFORE taking mu_, so an ordering violation
@@ -18,11 +19,11 @@ namespace pitree {
 
 void Latch::AcquireS() {
   analysis::OnLatchAcquiring(this, LatchMode::kShared);
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!SOk()) {
     analysis::OnLatchBlocked(this, LatchMode::kShared);
     ++s_waiters_;
-    cv_.wait(lk, [&] { return SOk(); });
+    while (!SOk()) cv_.Wait(mu_);
     --s_waiters_;
   }
   ++readers_;
@@ -31,27 +32,27 @@ void Latch::AcquireS() {
 
 void Latch::AcquireU() {
   analysis::OnLatchAcquiring(this, LatchMode::kUpdate);
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!UOk()) {
     analysis::OnLatchBlocked(this, LatchMode::kUpdate);
     ++u_waiters_;
-    cv_.wait(lk, [&] { return UOk(); });
+    while (!UOk()) cv_.Wait(mu_);
     --u_waiters_;
   }
   u_held_ = true;
   // Taking U re-admits S waiters that were deferring to queued X waiters
   // (the X wait now rests on this U, so readers cost it nothing).
-  if (s_waiters_ > 0 && x_waiters_ > 0) cv_.notify_all();
+  if (s_waiters_ > 0 && x_waiters_ > 0) cv_.NotifyAll();
   analysis::OnLatchAcquired(this, LatchMode::kUpdate);
 }
 
 void Latch::AcquireX() {
   analysis::OnLatchAcquiring(this, LatchMode::kExclusive);
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!XOk()) {
     analysis::OnLatchBlocked(this, LatchMode::kExclusive);
     ++x_waiters_;
-    cv_.wait(lk, [&] { return XOk(); });
+    while (!XOk()) cv_.Wait(mu_);
     --x_waiters_;
   }
   x_held_ = true;
@@ -66,7 +67,7 @@ void Latch::AcquireX() {
 // them are checked and the wait graph stays exact.
 
 bool Latch::TryAcquireS() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!SOk()) return false;
   ++readers_;
   analysis::OnLatchAcquired(this, LatchMode::kShared);
@@ -74,16 +75,16 @@ bool Latch::TryAcquireS() {
 }
 
 bool Latch::TryAcquireU() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!UOk()) return false;
   u_held_ = true;
-  if (s_waiters_ > 0 && x_waiters_ > 0) cv_.notify_all();  // see AcquireU
+  if (s_waiters_ > 0 && x_waiters_ > 0) cv_.NotifyAll();  // see AcquireU
   analysis::OnLatchAcquired(this, LatchMode::kUpdate);
   return true;
 }
 
 bool Latch::TryAcquireX() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (!XOk()) return false;
   x_held_ = true;
   vw_.fetch_or(kLockedBit, std::memory_order_seq_cst);
@@ -102,27 +103,27 @@ bool Latch::TryAcquireX() {
 // unconditional notify_all paid on every reader exit under S-heavy loads.
 
 void Latch::ReleaseS() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   analysis::OnLatchReleased(this, LatchMode::kShared);
   assert(readers_ > 0);
   --readers_;
   if (readers_ == 0 && (promoting_ || (x_waiters_ > 0 && !u_held_))) {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void Latch::ReleaseU() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   analysis::OnLatchReleased(this, LatchMode::kUpdate);
   assert(u_held_);
   u_held_ = false;
   if (u_waiters_ > 0 || (x_waiters_ > 0 && readers_ == 0)) {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void Latch::ReleaseX() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   analysis::OnLatchReleased(this, LatchMode::kExclusive);
   assert(x_held_);
   // Bump-and-unlock in one RMW (the word is odd while X is held): any
@@ -130,16 +131,16 @@ void Latch::ReleaseX() {
   vw_.fetch_add(1, std::memory_order_seq_cst);
   x_held_ = false;
   if (s_waiters_ > 0 || u_waiters_ > 0 || x_waiters_ > 0) {
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void Latch::PromoteUToX() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   assert(u_held_ && !promoting_);
   analysis::OnLatchPromoting(this);
   promoting_ = true;  // blocks new readers so the drain terminates
-  cv_.wait(lk, [&] { return readers_ == 0; });
+  while (readers_ != 0) cv_.Wait(mu_);
   u_held_ = false;
   promoting_ = false;
   x_held_ = true;
@@ -152,14 +153,14 @@ void Latch::PromoteUToX() {
 }
 
 void Latch::DemoteXToU() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   assert(x_held_);
   vw_.fetch_add(1, std::memory_order_seq_cst);  // see ReleaseX
   x_held_ = false;
   u_held_ = true;
   analysis::OnLatchDemoted(this);
   // Only S waiters can proceed under the new U holder.
-  if (s_waiters_ > 0) cv_.notify_all();
+  if (s_waiters_ > 0) cv_.NotifyAll();
 }
 
 void Latch::Release(LatchMode mode) {

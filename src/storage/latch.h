@@ -3,12 +3,12 @@
 
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "analysis/latch_checker.h"
 #include "analysis/latch_id.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pitree {
 
@@ -30,33 +30,45 @@ enum class LatchMode : uint8_t { kShared, kUpdate, kExclusive };
 /// holder owns no latch that is ordered after this one (paper §4.1.1); the
 /// latch itself cannot check that, but promotion never deadlocks *on this
 /// latch* because at most one U holder exists.
-class Latch {
+///
+/// Statically, a Latch is a clang thread-safety CAPABILITY: X maps to the
+/// exclusive capability, S and U to the shared one (a U holder may not
+/// write until it promotes — every write path in the engine promotes
+/// first — so "shared" is exactly U's static write permission). Latch
+/// holds intentionally cross function boundaries (descents hand latched
+/// pages to their callers), which clang's intraprocedural analysis cannot
+/// follow; functions doing that carry NO_THREAD_SAFETY_ANALYSIS with a
+/// `lint:tsa-escape -- <reason>` audit marker, and the cross-function
+/// protocol is
+/// checked by the runtime checker (src/analysis/) and the interprocedural
+/// analyzer (tools/analyze/) instead. See DESIGN.md §16.
+class CAPABILITY("latch") Latch {
  public:
   Latch() = default;
   Latch(const Latch&) = delete;
   Latch& operator=(const Latch&) = delete;
 
-  void AcquireS();
-  void AcquireU();
-  void AcquireX();
+  void AcquireS() ACQUIRE_SHARED();
+  void AcquireU() ACQUIRE_SHARED();
+  void AcquireX() ACQUIRE();
 
-  bool TryAcquireS();
-  bool TryAcquireU();
-  bool TryAcquireX();
+  bool TryAcquireS() TRY_ACQUIRE_SHARED(true);
+  bool TryAcquireU() TRY_ACQUIRE_SHARED(true);
+  bool TryAcquireX() TRY_ACQUIRE(true);
 
-  void ReleaseS();
-  void ReleaseU();
-  void ReleaseX();
+  void ReleaseS() RELEASE_SHARED();
+  void ReleaseU() RELEASE_SHARED();
+  void ReleaseX() RELEASE();
 
   /// Promotes the calling U holder to X, waiting for readers to drain.
   /// While a promotion is pending, new S requests block (prevents starvation).
-  void PromoteUToX();
+  void PromoteUToX() RELEASE_SHARED() ACQUIRE();
 
   /// Demotes the calling X holder to U, admitting readers again.
-  void DemoteXToU();
+  void DemoteXToU() RELEASE() ACQUIRE_SHARED();
 
   /// Releases whatever mode `mode` names; convenience for handle code.
-  void Release(LatchMode mode);
+  void Release(LatchMode mode) RELEASE_GENERIC();
 
   // ---- optimistic (OLC) read support --------------------------------------
   //
@@ -141,25 +153,27 @@ class Latch {
   // nothing; (b) the posting path's documented S re-entry over its own U
   // (§11 exemption) must stay wait-free — deferring it to an X waiter that
   // is in turn waiting out our U would deadlock.
-  bool SOk() const {
+  bool SOk() const REQUIRES(mu_) {
     return !x_held_ && !promoting_ && (x_waiters_ == 0 || u_held_);
   }
-  bool UOk() const { return !x_held_ && !u_held_; }
-  bool XOk() const { return !x_held_ && !u_held_ && readers_ == 0; }
+  bool UOk() const REQUIRES(mu_) { return !x_held_ && !u_held_; }
+  bool XOk() const REQUIRES(mu_) {
+    return !x_held_ && !u_held_ && readers_ == 0;
+  }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int readers_ = 0;
+  mutable Mutex mu_;  // internal; unranked (never nests around latches)
+  CondVar cv_;
+  int readers_ GUARDED_BY(mu_) = 0;
   // Waiter counts per requested mode, so release paths notify only when the
   // state change could actually unblock someone (a reader releasing with
   // other readers still in cannot, for example). The pending promoter waits
   // on readers_ == 0 and is covered by the promoting_ flag.
-  int s_waiters_ = 0;
-  int u_waiters_ = 0;
-  int x_waiters_ = 0;
-  bool u_held_ = false;
-  bool x_held_ = false;
-  bool promoting_ = false;
+  int s_waiters_ GUARDED_BY(mu_) = 0;
+  int u_waiters_ GUARDED_BY(mu_) = 0;
+  int x_waiters_ GUARDED_BY(mu_) = 0;
+  bool u_held_ GUARDED_BY(mu_) = false;
+  bool x_held_ GUARDED_BY(mu_) = false;
+  bool promoting_ GUARDED_BY(mu_) = false;
   // OLC version word (see the optimistic-read block above). Mutated only by
   // X transitions and reclaim spans.
   std::atomic<uint64_t> vw_{0};

@@ -1,3 +1,4 @@
+#include "common/thread_annotations.h"
 #include "tsb/tsb_tree.h"
 
 #include <algorithm>
@@ -97,7 +98,11 @@ TsbTime TsbTree::Now() {
   return clock_.fetch_add(1) + 1;
 }
 
-Status TsbTree::Create(EngineContext* ctx, PageId root) {
+// lint:tsa-escape -- bootstrap/recovery latches pages across helper
+// calls and error paths; checked by the runtime checker and
+// tools/analyze.
+Status TsbTree::Create(EngineContext* ctx, PageId root)
+    NO_THREAD_SAFETY_ANALYSIS {
   Transaction* action = ctx->txns->Begin(/*is_system=*/true);
   PageHandle h;
   Status s = ctx->pool->FetchPageZeroed(root, &h);
@@ -128,7 +133,10 @@ Status TsbTree::Create(EngineContext* ctx, PageId root) {
 namespace {
 // lint:latch-helper — the sanctioned mode-dispatch wrapper; the tools/lint
 // pass flags Latch::Acquire* calls outside annotated helpers and descents.
-void AcquireMode(Latch& latch, LatchMode mode) {
+// lint:tsa-escape -- mode-dispatched acquire: which capability kind is
+// taken is a runtime value clang cannot model; call sites are checked
+// dynamically (src/analysis/) and by tools/analyze.
+void AcquireMode(Latch& latch, LatchMode mode) NO_THREAD_SAFETY_ANALYSIS {
   switch (mode) {
     case LatchMode::kShared:
       latch.AcquireS();
@@ -143,9 +151,13 @@ void AcquireMode(Latch& latch, LatchMode mode) {
 }
 }  // namespace
 
+// lint:tsa-escape -- hands latched pages across the call boundary (§4.1
+// crabbing); the protocol is enforced by the runtime checker and
+// tools/analyze, not the intraprocedural static analysis.
 Status TsbTree::DescendToLeaf(
     Transaction* txn, const Slice& key, LatchMode mode, PageHandle* leaf,
-    std::vector<std::pair<PageId, std::string>>* pending) {
+    std::vector<std::pair<PageId, std::string>>* pending)
+    NO_THREAD_SAFETY_ANALYSIS {
   std::string composite = CompositeKey(key, 0);
   PageHandle cur;
   PITREE_RETURN_IF_ERROR(ctx_->pool->FetchPage(root_, &cur));
@@ -228,7 +240,10 @@ Status TsbTree::DescendToLeaf(
 // Splits (atomic actions)
 // ---------------------------------------------------------------------------
 
-Status TsbTree::TimeSplit(Transaction* owner, PageHandle& leaf, TsbTime t) {
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
+Status TsbTree::TimeSplit(Transaction* owner, PageHandle& leaf, TsbTime t)
+    NO_THREAD_SAFETY_ANALYSIS {
   NodeRef node(leaf.data());
   // The new historical node is a full copy of the current node: it covers
   // the same key space for all times up to t, and it inherits the prior
@@ -315,8 +330,11 @@ Status TsbTree::TimeSplit(Transaction* owner, PageHandle& leaf, TsbTime t) {
   return s;
 }
 
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
 Status TsbTree::KeySplit(Transaction* owner, PageHandle& leaf,
-                         PageId* sibling, std::string* split_key) {
+                         PageId* sibling, std::string* split_key)
+    NO_THREAD_SAFETY_ANALYSIS {
   NodeRef node(leaf.data());
   // Choose the median *user key* boundary among regular entries.
   std::vector<NodeEntry> all = node.AllEntries();
@@ -388,7 +406,10 @@ Status TsbTree::KeySplit(Transaction* owner, PageHandle& leaf,
   return Status::OK();
 }
 
-Status TsbTree::GrowRoot(Transaction* owner, PageHandle& root_h) {
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
+Status TsbTree::GrowRoot(Transaction* owner, PageHandle& root_h)
+    NO_THREAD_SAFETY_ANALYSIS {
   NodeRef root(root_h.data());
   // Same scheme as the Π-tree root grow, except a leaf root's history term
   // must be copied into BOTH children (each is responsible for the history
@@ -493,7 +514,10 @@ Status TsbTree::GrowRoot(Transaction* owner, PageHandle& root_h) {
   return s;
 }
 
-Status TsbTree::SplitLeaf(PageHandle* leaf, const Slice& key) {
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
+Status TsbTree::SplitLeaf(PageHandle* leaf, const Slice& key)
+    NO_THREAD_SAFETY_ANALYSIS {
   // Policy (§2.2.2): if a meaningful share of the node is historical (dead
   // versions / tombstones), split by time; otherwise split by key. Runs as
   // an independent atomic action; the caller restarts afterwards.
@@ -562,7 +586,10 @@ Status TsbTree::SplitLeaf(PageHandle* leaf, const Slice& key) {
 // Key-split posting (completion)
 // ---------------------------------------------------------------------------
 
-Status TsbTree::PostKeySplit(const Slice& approx_key) {
+// lint:tsa-escape -- atomic-action SMO: latches flow across helpers and
+// error paths; checked by the runtime checker and tools/analyze.
+Status TsbTree::PostKeySplit(const Slice& approx_key)
+    NO_THREAD_SAFETY_ANALYSIS {
   // Simplified §5.3 posting for the TSB instance: descend to level 1 with a
   // U latch, verify via the child's side pointer, post missing terms.
   std::string composite = CompositeKey(approx_key, 0);
@@ -722,8 +749,12 @@ Status TsbTree::PostKeySplit(const Slice& approx_key) {
 // Record operations
 // ---------------------------------------------------------------------------
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status TsbTree::WriteVersion(Transaction* txn, const Slice& key, TsbTime t,
-                             bool tombstone, const Slice& value) {
+                             bool tombstone, const Slice& value)
+    NO_THREAD_SAFETY_ANALYSIS {
   if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
   std::string composite = CompositeKey(key, t);
   std::string tagged = TagValue(tombstone, value);
@@ -993,8 +1024,11 @@ Status TsbTree::GetOptimistic(
   return Status::Busy("tsb: optimistic read did not settle");
 }
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status TsbTree::GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
-                        std::string* value) {
+                        std::string* value) NO_THREAD_SAFETY_ANALYSIS {
   if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
   std::vector<std::pair<PageId, std::string>> pending;
   if (ctx_->options.optimistic_reads) {
@@ -1042,8 +1076,12 @@ Status TsbTree::GetAsOf(Transaction* txn, const Slice& key, TsbTime t,
   return result;
 }
 
+// lint:tsa-escape -- hands latched pages across the call boundary (§4.1
+// crabbing); the protocol is enforced by the runtime checker and
+// tools/analyze, not the intraprocedural static analysis.
 Status TsbTree::ReadVersionInChain(PageHandle cur, const Slice& key,
-                                   TsbTime t, std::string* value) {
+                                   TsbTime t, std::string* value)
+    NO_THREAD_SAFETY_ANALYSIS {
   Status result = Status::NotFound("no version");
   std::string probe = CompositeKey(key, t);
   for (;;) {
@@ -1124,8 +1162,12 @@ Status TsbTree::SnapshotGet(const Slice& key, TsbTime t, std::string* value) {
   return ReadVersionInChain(std::move(cur), key, t, value);
 }
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status TsbTree::ScanAsOf(const Slice& start, const Slice& end, TsbTime t,
-                         size_t limit, std::vector<TsbScanEntry>* out) {
+                         size_t limit, std::vector<TsbScanEntry>* out)
+    NO_THREAD_SAFETY_ANALYSIS {
   out->clear();
   // Empty start = from the first key (the empty string sorts before every
   // valid user key, so descending on it lands in the leftmost leaf).
@@ -1247,8 +1289,12 @@ Status TsbTree::ScanAsOf(const Slice& start, const Slice& end, TsbTime t,
   return Status::OK();
 }
 
+// lint:tsa-escape -- latch spans cross helper boundaries (the descent
+// acquires, this function releases); checked by the runtime checker and
+// tools/analyze.
 Status TsbTree::History(Transaction* txn, const Slice& key,
-                        std::vector<TsbVersion>* versions) {
+                        std::vector<TsbVersion>* versions)
+    NO_THREAD_SAFETY_ANALYSIS {
   versions->clear();
   if (!ValidUserKey(key)) return Status::InvalidArgument("bad tsb key");
   PageHandle cur;

@@ -158,7 +158,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
   // probe-and-restart path and are exempt. Checked before mu_ so a violation
   // aborts with hold stacks instead of maybe deadlocking first.
   if (wait) analysis::OnLockBlockingRequest(resource.c_str());
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   // Best-effort txn->thread binding for the checker's lock wait edges.
   analysis::BindTxnThread(txn->id);
   Queue& q = table_[resource];
@@ -188,10 +188,10 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
           waiting_on_.erase(txn->id);
           drop_ungranted();
           ++deadlocks_;
-          cv_.notify_all();
+          cv_.NotifyAll();
           return Status::Deadlock("lock conversion on " + resource);
         }
-        cv_.wait_for(lk, std::chrono::milliseconds(20));
+        (void)cv_.WaitFor(mu_, std::chrono::milliseconds(20));
       }
       analysis::OnLockWaitEnd();
       waiting_on_.erase(txn->id);
@@ -207,7 +207,7 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
     held->second = target;
     ++grants_;
     CheckGrantInvariant(q, "conversion");
-    cv_.notify_all();
+    cv_.NotifyAll();
     return Status::OK();
   }
 
@@ -226,10 +226,10 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
         waiting_on_.erase(txn->id);
         drop_ungranted();
         ++deadlocks_;
-        cv_.notify_all();
+        cv_.NotifyAll();
         return Status::Deadlock("lock wait on " + resource);
       }
-      cv_.wait_for(lk, std::chrono::milliseconds(20));
+      (void)cv_.WaitFor(mu_, std::chrono::milliseconds(20));
     }
     analysis::OnLockWaitEnd();
     waiting_on_.erase(txn->id);
@@ -244,12 +244,12 @@ Status LockManager::Lock(Transaction* txn, const std::string& resource,
   ++grants_;
   analysis::OnLockGranted(resource.c_str(), txn->id);
   CheckGrantInvariant(q, "fresh");
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Status::OK();
 }
 
 void LockManager::Unlock(Transaction* txn, const std::string& resource) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = table_.find(resource);
   if (it != table_.end()) {
     it->second.remove_if(
@@ -258,11 +258,11 @@ void LockManager::Unlock(Transaction* txn, const std::string& resource) {
   }
   txn->held_locks.erase(resource);
   analysis::OnLockReleased(resource.c_str(), txn->id);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void LockManager::ReleaseAll(Transaction* txn) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (const auto& [resource, mode] : txn->held_locks) {
     auto it = table_.find(resource);
     if (it == table_.end()) continue;
@@ -273,12 +273,12 @@ void LockManager::ReleaseAll(Transaction* txn) {
   }
   txn->held_locks.clear();
   analysis::UnbindTxn(txn->id);
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 bool LockManager::WouldConflict(TxnId self, const std::string& resource,
                                 LockMode mode) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = table_.find(resource);
   if (it == table_.end()) return false;
   for (const auto& r : it->second) {
@@ -290,12 +290,12 @@ bool LockManager::WouldConflict(TxnId self, const std::string& resource,
 }
 
 uint64_t LockManager::deadlock_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return deadlocks_;
 }
 
 uint64_t LockManager::grant_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return grants_;
 }
 

@@ -1,14 +1,14 @@
 #ifndef PITREE_TXN_LOCK_MANAGER_H_
 #define PITREE_TXN_LOCK_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "txn/transaction.h"
 
@@ -72,18 +72,19 @@ class LockManager {
   };
   using Queue = std::list<Request>;
 
-  // All require mu_ held.
-  bool Grantable(const Queue& q, TxnId txn, LockMode mode) const;
-  bool ConversionGrantable(const Queue& q, TxnId txn, LockMode mode) const;
-  bool WaitWouldDeadlock(TxnId waiter) const;
+  bool Grantable(const Queue& q, TxnId txn, LockMode mode) const
+      REQUIRES(mu_);
+  bool ConversionGrantable(const Queue& q, TxnId txn, LockMode mode) const
+      REQUIRES(mu_);
+  bool WaitWouldDeadlock(TxnId waiter) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::string, Queue> table_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::unordered_map<std::string, Queue> table_ GUARDED_BY(mu_);
   // txn -> resource it is currently blocked on (one at a time per thread).
-  std::unordered_map<TxnId, std::string> waiting_on_;
-  uint64_t deadlocks_ = 0;
-  uint64_t grants_ = 0;
+  std::unordered_map<TxnId, std::string> waiting_on_ GUARDED_BY(mu_);
+  uint64_t deadlocks_ GUARDED_BY(mu_) = 0;
+  uint64_t grants_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace pitree

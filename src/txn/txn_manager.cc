@@ -11,7 +11,7 @@ Transaction* TxnManager::Begin(bool is_system) {
   txn->id = next_id_.fetch_add(1);
   txn->is_system = is_system;
   Transaction* raw = txn.get();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   begun_[raw->id] = false;
   active_[raw->id] = std::move(txn);
   return raw;
@@ -25,7 +25,7 @@ Status TxnManager::EnsureBegun(Transaction* txn) {
   // either sees the transaction with its kBegin LSN, or doesn't see it at
   // all — in which case its kBegin will land after the checkpoint's begin
   // record, above any truncation floor the checkpoint derives.
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = begun_.find(txn->id);
   if (it == begun_.end() || it->second) return Status::OK();
   Lsn lsn;
@@ -40,7 +40,7 @@ Status TxnManager::Commit(Transaction* txn) {
   assert(txn->state == TxnState::kRunning);
   bool logged;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     logged = begun_[txn->id];
   }
   if (logged) {
@@ -54,14 +54,14 @@ Status TxnManager::Commit(Transaction* txn) {
       // sits BELOW the checkpoint's begin — outside the analysis scan —
       // and recovery would resurrect it as a loser and undo committed
       // work. Lock order: mu_ -> commit_order_mu_ -> WAL append (leaf).
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       if (oracle_ != nullptr) {
         // Allocate the commit timestamp and append the commit record under
         // one mutex: commit-timestamp order equals LSN order, so "commits
         // with cts <= visible" and "commits in the durable prefix" name the
         // same set — a snapshot can never admit a commit whose record could
         // be lost while an earlier-stamped one survives.
-        std::lock_guard<std::mutex> order(commit_order_mu_);
+        MutexLock order(&commit_order_mu_);
         cts = oracle_->AllocateCommitTs();
         PITREE_RETURN_IF_ERROR(
             wal_->Append(MakeCommit(txn->id, txn->last_lsn, cts), &lsn));
@@ -98,7 +98,7 @@ Status TxnManager::Abort(Transaction* txn) {
          txn->state == TxnState::kAborting);
   bool logged;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     logged = begun_[txn->id];
   }
   txn->state = TxnState::kAborting;
@@ -114,7 +114,7 @@ Status TxnManager::Abort(Transaction* txn) {
       // Same atomicity as the commit append: once kEnd is in the log the
       // rollback is complete, and a checkpoint beginning above it must not
       // snapshot this transaction into its ATT (see commit_appended).
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       PITREE_RETURN_IF_ERROR(
           wal_->Append(MakeEnd(txn->id, txn->last_lsn), &lsn));
       txn->commit_appended = true;
@@ -136,7 +136,7 @@ Transaction* TxnManager::AdoptLoser(TxnId id, bool is_system, Lsn last_lsn,
   txn->last_lsn = last_lsn;
   txn->undo_next = undo_next;
   Transaction* raw = txn.get();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   begun_[id] = true;
   active_[id] = std::move(txn);
   return raw;
@@ -147,7 +147,7 @@ void TxnManager::Discard(Transaction* txn) {
   // recovery losers, atomic-action error paths), so this is the one place
   // the oracle's writer registration is guaranteed to be dropped.
   if (oracle_ != nullptr) oracle_->DeregisterWriter(txn->id);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   begun_.erase(txn->id);
   active_.erase(txn->id);  // destroys *txn
 }
@@ -159,7 +159,7 @@ void TxnManager::AdvanceTxnIdFloor(TxnId floor) {
 }
 
 std::vector<AttEntry> TxnManager::SnapshotAtt() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<AttEntry> att;
   for (const auto& [id, txn] : active_) {
     auto bit = begun_.find(id);
@@ -174,7 +174,7 @@ std::vector<AttEntry> TxnManager::SnapshotAtt() const {
 }
 
 size_t TxnManager::active_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return active_.size();
 }
 

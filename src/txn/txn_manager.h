@@ -4,11 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -104,11 +105,13 @@ class TxnManager {
   /// Serializes commit-timestamp allocation with the commit-record append.
   /// Append() does no I/O (the group-commit pipeline stages bytes in
   /// memory), so this critical section is a few hundred nanoseconds.
-  std::mutex commit_order_mu_;
+  Mutex commit_order_mu_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_;
-  std::unordered_map<TxnId, bool> begun_;  // kBegin logged yet?
+  mutable Mutex mu_;
+  std::unordered_map<TxnId, std::unique_ptr<Transaction>> active_
+      GUARDED_BY(mu_);
+  /// kBegin logged yet?
+  std::unordered_map<TxnId, bool> begun_ GUARDED_BY(mu_);
   std::atomic<TxnId> next_id_{1};
 };
 

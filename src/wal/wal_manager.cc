@@ -24,52 +24,16 @@ constexpr size_t kScanReadAhead = 256 << 10;
 }  // namespace
 
 // The §4.1 checker (src/analysis/) tracks append-mutex ownership at rank
-// kWalMutex — the leaf of the whole acquisition order. The force path is
-// built so the rank is unheld at every file Write/Sync; the I/O wrappers
-// assert that, so a regression fails loudly instead of re-convoying every
-// appender behind one thread's fsync. Release builds compile to plain locks.
-
-WalManager::MuLock::MuLock(const WalManager& w) : lk(w.mu_, std::defer_lock) {
-#if PITREE_CHECK_INVARIANTS
-  analysis::OnMutexAcquiring(&w.mu_, analysis::Rank::kWalMutex);
-  if (!lk.try_lock()) {
-    analysis::OnMutexBlocked(&w.mu_, analysis::Rank::kWalMutex);
-    lk.lock();
-  }
-  analysis::OnMutexAcquired(&w.mu_, analysis::Rank::kWalMutex);
-#else
-  lk.lock();
-#endif
-}
-
-WalManager::MuLock::~MuLock() {
-  if (lk.owns_lock()) {
-    analysis::OnMutexReleased(lk.mutex(), analysis::Rank::kWalMutex);
-  }
-}
-
-void WalManager::MuLock::Unlock() {
-  analysis::OnMutexReleased(lk.mutex(), analysis::Rank::kWalMutex);
-  lk.unlock();
-}
-
-void WalManager::MuLock::Lock() {
-#if PITREE_CHECK_INVARIANTS
-  analysis::OnMutexAcquiring(lk.mutex(), analysis::Rank::kWalMutex);
-  if (!lk.try_lock()) {
-    analysis::OnMutexBlocked(lk.mutex(), analysis::Rank::kWalMutex);
-    lk.lock();
-  }
-  analysis::OnMutexAcquired(lk.mutex(), analysis::Rank::kWalMutex);
-#else
-  lk.lock();
-#endif
-}
+// kWalMutex — the leaf of the whole acquisition order — via the ranked
+// Mutex itself (common/mutex.h runs the try-then-block dance). The force
+// path is built so the rank is unheld at every file Write/Sync; the I/O
+// wrappers assert that, so a regression fails loudly instead of
+// re-convoying every appender behind one thread's fsync.
 
 Status WalManager::Open(Env* env, const std::string& path,
                         uint64_t group_commit_window_us,
                         uint64_t segment_bytes) {
-  MuLock lk(*this);
+  ReleasableMutexLock lk(&mu_);
   window_us_ = group_commit_window_us;
   segment_bytes_ = segment_bytes > 0 ? segment_bytes : kDefaultWalSegmentBytes;
   PITREE_RETURN_IF_ERROR(segments_.Open(env, path, /*read_only=*/false));
@@ -124,7 +88,7 @@ Status WalManager::Append(const LogRecord& rec, Lsn* lsn,
   EncodeFixed32(header, MaskCrc(Crc32c(payload.data(), payload.size())));
   EncodeFixed32(header + 4, static_cast<uint32_t>(payload.size()));
 
-  MuLock lk(*this);
+  ReleasableMutexLock lk(&mu_);
   *lsn = next_.load(std::memory_order_relaxed);
   // Publish transaction state while the mutex is held: the checkpoint
   // begin append takes this same mutex, so every publication for a record
@@ -168,7 +132,7 @@ Status WalManager::ReadRecord(Lsn lsn, LogRecord* rec) const {
     LogReader reader(segments_.reader_view(), lsn);
     return reader.ReadNext(rec);
   }
-  MuLock lk(*this);
+  ReleasableMutexLock lk(&mu_);
   const Lsn durable = durable_.load(std::memory_order_relaxed);
   if (lsn < durable) {
     // Durability advanced past lsn while acquiring the mutex; read the
@@ -223,7 +187,7 @@ Status WalManager::FlushAll() {
 
 Status WalManager::WaitUntilDurable(Lsn upto) {
   if (durable_.load(std::memory_order_acquire) >= upto) return Status::OK();
-  MuLock lk(*this);
+  ReleasableMutexLock lk(&mu_);
   // Nothing beyond the append point can be waited for (Flush of the last
   // record and FlushAll both land here).
   upto = std::min<Lsn>(upto, next_.load(std::memory_order_relaxed));
@@ -259,7 +223,7 @@ Status WalManager::WaitUntilDurable(Lsn upto) {
         lk.Lock();
       }
       flush_in_progress_ = false;
-      cv_durable_.notify_all();
+      cv_durable_.NotifyAll();
       if (!s.ok()) return s;
       // The swap took every append up to (at least) upto; loop to confirm
       // and handle the retry-after-failure case where the staged batch
@@ -272,10 +236,10 @@ Status WalManager::WaitUntilDurable(Lsn upto) {
     const uint64_t epoch = error_epoch_;
     const Lsn seen = durable_.load(std::memory_order_relaxed);
     slept = true;
-    cv_durable_.wait(lk.lk, [&] {
-      return durable_.load(std::memory_order_relaxed) != seen ||
-             error_epoch_ != epoch || !flush_in_progress_;
-    });
+    while (durable_.load(std::memory_order_relaxed) == seen &&
+           error_epoch_ == epoch && flush_in_progress_) {
+      cv_durable_.Wait(mu_);
+    }
     if (error_epoch_ != epoch &&
         durable_.load(std::memory_order_relaxed) < upto) {
       // The batch that should have carried our bytes failed: surface it
@@ -285,7 +249,7 @@ Status WalManager::WaitUntilDurable(Lsn upto) {
   }
 }
 
-Status WalManager::FlushBatchLocked(MuLock& lk) {
+Status WalManager::FlushBatchLocked(ReleasableMutexLock& lk) {
   if (flushing_.empty()) {
     if (active_.empty()) return Status::OK();
     flushing_.swap(active_);

@@ -2,14 +2,14 @@
 #define PITREE_WAL_WAL_MANAGER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "env/env.h"
 #include "wal/log_reader.h"
@@ -181,21 +181,6 @@ class WalManager {
   WalStats stats() const;
 
  private:
-  /// Guard that registers mu_ with the §4.1 latch-protocol checker (ranked
-  /// kWalMutex, the highest rank: legal to take while holding anything,
-  /// nothing may be taken under it), so invariant builds can assert the
-  /// append mutex is never held across Write/Sync. Manual drop/reacquire
-  /// must go through Unlock()/Lock(); CV waits on `lk` are fine as-is (the
-  /// sleeping thread runs no I/O and the mutex is reacquired before wait
-  /// returns).
-  struct MuLock {
-    explicit MuLock(const WalManager& w);
-    ~MuLock();
-    void Unlock();
-    void Lock();
-    std::unique_lock<std::mutex> lk;
-  };
-
   /// The single force path: blocks until durable_ >= `upto` (clamped to the
   /// append point), electing this thread leader when no batch is in flight.
   Status WaitUntilDurable(Lsn upto);
@@ -203,36 +188,46 @@ class WalManager {
   /// Leader body: swaps the active segment in if the flushing slot is empty,
   /// drops mu_, performs Write+Sync, re-locks, and publishes durability (or
   /// the failure). mu_ held on entry and exit.
-  Status FlushBatchLocked(MuLock& lk);
+  // lint:tsa-escape -- held-on-entry/exit with a mid-function drop through a
+  // caller-owned ReleasableMutexLock; clang cannot track a scoped capability
+  // passed by reference. Covered by the runtime checker's I/O rank asserts.
+  Status FlushBatchLocked(ReleasableMutexLock& lk) NO_THREAD_SAFETY_ANALYSIS;
 
   // I/O wrappers: assert the append mutex is not held on this thread.
   Status DoWrite(Lsn offset, const std::string& buf);
   Status DoSync();
 
   WalSegmentSet segments_;
-  uint64_t window_us_ = 0;
-  uint64_t segment_bytes_ = kDefaultWalSegmentBytes;
+  uint64_t window_us_ GUARDED_BY(mu_) = 0;
+  uint64_t segment_bytes_ GUARDED_BY(mu_) = kDefaultWalSegmentBytes;
 
-  mutable std::mutex mu_;
+  /// The append mutex, ranked kWalMutex — the leaf of the whole acquisition
+  /// order: legal to take while holding anything, nothing may be taken
+  /// under it. The ranked Mutex registers with the §4.1 checker, so
+  /// invariant builds assert it is never held across Write/Sync.
+  mutable Mutex mu_{analysis::Rank::kWalMutex};
   /// Force waiters (and followers watching a leader) sleep here; the leader
   /// notifies after every publish, success or failure.
-  std::condition_variable cv_durable_;
+  CondVar cv_durable_;
   /// Frames appended but not yet staged for a batch. Base offset is
   /// durable_ + flushing_.size().
-  std::string active_;
+  std::string active_ GUARDED_BY(mu_);
   /// The staged batch: being written+synced by the leader, or retained for
   /// retry after a failed sync. Base offset is durable_ (the durable prefix
-  /// always ends exactly where the staged batch begins).
-  std::string flushing_;
+  /// always ends exactly where the staged batch begins). The leader reads
+  /// it with the mutex dropped during the batch write — only the leader
+  /// mutates it, and only under mu_ (see FlushBatchLocked's escape).
+  std::string flushing_ GUARDED_BY(mu_);
   /// Start offsets of every buffered frame in [durable_, next_), for
   /// boundary-checked buffered reads. Trimmed as durability advances.
-  std::deque<Lsn> frame_starts_;
-  bool flush_in_progress_ = false;  // a leader owns the flushing slot
+  std::deque<Lsn> frame_starts_ GUARDED_BY(mu_);
+  /// A leader owns the flushing slot.
+  bool flush_in_progress_ GUARDED_BY(mu_) = false;
   /// Bumped on every failed batch; a parked waiter that observes a bump
   /// while its bytes are still volatile fails with last_error_ instead of
   /// being silently marked durable.
-  uint64_t error_epoch_ = 0;
-  Status last_error_;
+  uint64_t error_epoch_ GUARDED_BY(mu_) = 0;
+  Status last_error_ GUARDED_BY(mu_);
 
   std::atomic<Lsn> durable_{0};  // all bytes below are synced
   std::atomic<Lsn> next_{0};     // LSN the next append assigns

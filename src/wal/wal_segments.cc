@@ -193,35 +193,35 @@ Status WalSegmentSet::Open(Env* env, const std::string& base, bool read_only) {
     }
   }
 
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   segments_ = std::move(chain);
   return Status::OK();
 }
 
 bool WalSegmentSet::empty() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return segments_.empty();
 }
 
 Lsn WalSegmentSet::floor_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return segments_.empty() ? 0 : segments_.front().start;
 }
 
 Lsn WalSegmentSet::last_start_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return segments_.empty() ? 0 : segments_.back().start;
 }
 
 uint64_t WalSegmentSet::segment_count() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return segments_.size();
 }
 
 uint64_t WalSegmentSet::disk_bytes() const {
   std::vector<std::shared_ptr<File>> files;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     files.reserve(segments_.size());
     for (const auto& s : segments_) files.push_back(s.file);
   }
@@ -234,7 +234,7 @@ Status WalSegmentSet::WriteAt(Lsn offset, const Slice& data) {
   std::shared_ptr<File> f;
   Lsn start;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     f = segments_.back().file;
     start = segments_.back().start;
   }
@@ -247,7 +247,7 @@ Status WalSegmentSet::WriteAt(Lsn offset, const Slice& data) {
 Status WalSegmentSet::SyncActive() {
   std::shared_ptr<File> f;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     f = segments_.back().file;
   }
   return f->Sync();
@@ -257,7 +257,7 @@ Status WalSegmentSet::TruncateActiveTo(Lsn end) {
   std::shared_ptr<File> f;
   Lsn start;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     f = segments_.back().file;
     start = segments_.back().start;
   }
@@ -269,14 +269,14 @@ Status WalSegmentSet::TruncateActiveTo(Lsn end) {
 Status WalSegmentSet::RollIfNeeded(Lsn end, uint64_t segment_bytes) {
   uint64_t next_seq;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     const Segment& last = segments_.back();
     if (end - last.start < segment_bytes) return Status::OK();
     next_seq = last.seq + 1;
   }
   Segment fresh;
   PITREE_RETURN_IF_ERROR(CreateSegment(next_seq, end, &fresh));
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   segments_.push_back(std::move(fresh));
   return Status::OK();
 }
@@ -287,12 +287,12 @@ Status WalSegmentSet::TruncateBelow(Lsn floor, uint64_t* deleted_segments) {
   // unlink it vouches for, and interleaved truncations could reorder the
   // two. Appends and readers synchronize on mu_, never on this.
   // lint:allow-mutex-io -- slow-path serialization, I/O is the point
-  std::lock_guard<std::mutex> serialize(truncate_mu_);
+  MutexLock serialize(&truncate_mu_);
   std::vector<std::string> victims;
   uint64_t new_first_seq = 0;
   size_t n_victims = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     // segments_[i] ends where segments_[i+1] starts; the active segment is
     // never a victim (it is where appends land, whatever the floor says).
     while (n_victims + 1 < segments_.size() &&
@@ -313,7 +313,7 @@ Status WalSegmentSet::TruncateBelow(Lsn floor, uint64_t* deleted_segments) {
     // Unpublish before deleting so no reader resolves an LSN to a segment
     // being deleted (their shared handles keep already-resolved reads
     // safe either way).
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     segments_.erase(segments_.begin(), segments_.begin() + n_victims);
   }
   for (const auto& name : victims) {
@@ -332,7 +332,7 @@ Status WalSegmentSet::ReaderView::Read(uint64_t offset, size_t n,
     uint64_t payload_limit = 0;
     bool is_last = false;
     {
-      std::lock_guard<std::mutex> lk(set_->mu_);
+      MutexLock lk(&set_->mu_);
       const auto& segs = set_->segments_;
       const Lsn pos = offset + got;
       if (segs.empty() || pos < segs.front().start) break;
@@ -370,7 +370,7 @@ uint64_t WalSegmentSet::ReaderView::Size() const {
   std::shared_ptr<File> f;
   Lsn start = 0;
   {
-    std::lock_guard<std::mutex> lk(set_->mu_);
+    MutexLock lk(&set_->mu_);
     if (set_->segments_.empty()) return 0;
     f = set_->segments_.back().file;
     start = set_->segments_.back().start;

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "env/env.h"
 
@@ -138,9 +139,10 @@ class WalSegmentSet {
   std::string base_;
   bool read_only_ = false;
 
-  mutable std::mutex mu_;       // guards segments_ only (never held over I/O)
-  std::vector<Segment> segments_;  // ascending seq/start; back() is active
-  std::mutex truncate_mu_;      // serializes TruncateBelow callers
+  mutable Mutex mu_;  // guards segments_ only (never held over I/O)
+  /// Ascending seq/start; back() is active.
+  std::vector<Segment> segments_ GUARDED_BY(mu_);
+  Mutex truncate_mu_;  // serializes TruncateBelow callers
 
   ReaderView reader_view_{this};
 };

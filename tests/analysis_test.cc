@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "analysis/latch_checker.h"
+#include "common/mutex.h"
 #include "db/database.h"
 #include "env/sim_env.h"
+#include "storage/epoch.h"
 #include "storage/latch.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -100,6 +102,38 @@ TEST_F(AnalysisDeathTest, BlockingLockWaitWithLatchHeldAborts) {
         (void)lm.Lock(&txn, "rec/k", LockMode::kX, /*wait=*/true);
       }()),
       "No-Wait Rule violation");
+}
+
+// §11 rank order across resource kinds: the WAL append mutex is the leaf
+// of the order (kTreePage < kSpaceMap < kPoolShard < kWalMutex); blocking
+// on a pool-shard mutex while holding it runs the order backwards. This is
+// the runtime twin of the static analyzer's rank-order rule
+// (tools/analyze/testdata/rank_inversion.cc) — both tools must agree on
+// what the §11 order means.
+TEST_F(AnalysisDeathTest, MutexRankInversionAborts) {
+  // Braces do not protect commas from the preprocessor; the lambda does.
+  EXPECT_DEATH(
+      ([&] {
+        Mutex wal_mu{analysis::Rank::kWalMutex};
+        Mutex shard_mu{analysis::Rank::kPoolShard};
+        wal_mu.Lock();
+        shard_mu.Lock();  // kPoolShard under kWalMutex: order inversion
+      }()),
+      "latch order violation");
+}
+
+// DESIGN.md §15: no blocking acquire inside an epoch section — a parked
+// optimistic reader stalls every reclaimer's grace period. Runtime twin of
+// the analyzer's epoch-block rule (tools/analyze/testdata/epoch_block.cc).
+TEST_F(AnalysisDeathTest, BlockingAcquireInsideEpochSectionAborts) {
+  // Braces do not protect commas from the preprocessor; the lambda does.
+  EXPECT_DEATH(
+      ([&] {
+        Mutex mu{analysis::Rank::kPoolShard};
+        EpochGuard g;
+        mu.Lock();  // blocking acquire while the epoch section is open
+      }()),
+      "optimistic discipline violation");
 }
 
 // Two threads, two unranked latches, opposite acquisition order: whichever

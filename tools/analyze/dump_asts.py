@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Dump per-TU clang AST JSON for the concurrency analyzer's AST frontend.
+
+Reads a CMake compile_commands.json, and for every src/ translation unit
+reruns its exact compile command as a syntax-only AST dump:
+
+    clang++ <original flags> -fsyntax-only -Xclang -ast-dump=json
+
+writing the JSON to <out>/<stem>.json. The analyzer then consumes the dumps
+with `concurrency_analyzer.py --frontend=clang-ast --ast-dir=<out>`.
+
+A dump is skipped when it is already newer than its source file, so a
+CI-cached output directory (keyed on the source hash) costs nothing on a
+hit and regenerates only what changed on a miss.
+
+Usage:
+  tools/analyze/dump_asts.py [--compile-commands build/compile_commands.json]
+                             [--out build/ast] [--clang clang++]
+Exit status: 0 on success (including nothing to do), 1 if any dump failed.
+"""
+
+import argparse
+import json
+import pathlib
+import shlex
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def dump_one(entry, out_dir, clang):
+    src = pathlib.Path(entry['file'])
+    out = out_dir / (src.stem + '.json')
+    if out.exists() and out.stat().st_mtime > src.stat().st_mtime:
+        return True, f'up-to-date {out.name}'
+    args = shlex.split(entry.get('command', '')) or entry.get('arguments', [])
+    # Keep include paths, defines, -std/-W flags; drop the object output and
+    # the compile step itself, then ask for the AST instead of codegen.
+    kept, skip = [], 0
+    for a in args[1:]:
+        if skip:
+            skip -= 1
+            continue
+        if a == '-o':
+            skip = 1
+            continue
+        if a in ('-c', str(src)):
+            continue
+        kept.append(a)
+    cmd = [clang] + kept + ['-fsyntax-only', '-Xclang', '-ast-dump=json',
+                            str(src)]
+    proc = subprocess.run(cmd, cwd=entry.get('directory', str(REPO_ROOT)),
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        return False, f'{src}: {proc.stderr.strip().splitlines()[-1:]}' \
+            if proc.stderr else f'{src}: exit {proc.returncode}'
+    out.write_text(proc.stdout)
+    return True, f'dumped {out.name}'
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument('--compile-commands',
+                    default='build/compile_commands.json')
+    ap.add_argument('--out', default='build/ast')
+    ap.add_argument('--clang', default='clang++')
+    args = ap.parse_args(argv)
+
+    cc_path = REPO_ROOT / args.compile_commands
+    if not cc_path.exists():
+        print(f'error: {cc_path} not found (configure with '
+              f'-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)', file=sys.stderr)
+        return 1
+    out_dir = REPO_ROOT / args.out
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    entries = [e for e in json.loads(cc_path.read_text())
+               if '/src/' in e['file'] and e['file'].endswith('.cc')]
+    failed = 0
+    for e in entries:
+        ok, msg = dump_one(e, out_dir, args.clang)
+        print(('ok   ' if ok else 'FAIL ') + str(msg))
+        if not ok:
+            failed += 1
+    print(f'{len(entries) - failed}/{len(entries)} TUs dumped to {out_dir}')
+    return 1 if failed else 0
+
+
+if __name__ == '__main__':
+    sys.exit(main(sys.argv[1:]))

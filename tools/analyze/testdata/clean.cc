@@ -1,0 +1,28 @@
+// Fixture: a correct slice of engine idiom — ascending rank order, RAII
+// guards, drop-before-I/O, validated optimistic reads. The analyzer must
+// report nothing here.
+struct Shard { Mutex mu{analysis::Rank::kPoolShard}; };
+
+Status AscendingOrder(Shard& s, PageHandle& h) {
+  h.latch().AcquireX();       // kTreePage
+  {
+    MutexLock lk(&mu);        // kPoolShard above it: legal
+    Touch(h);
+  }
+  h.latch().ReleaseX();
+  return Status::OK();
+}
+
+Status DropBeforeIo(Shard& s, PageId id, char* buf) {
+  ReleasableMutexLock lk(&mu);
+  lk.Unlock();
+  Status st = ReadPage(id, buf);
+  lk.Lock();
+  return st;
+}
+
+bool ValidatedOptimisticRead(Latch& l, PageHandle& h, char* out) {
+  uint64_t w = l.OptimisticBegin();
+  if (!l.Validate(w)) return false;
+  return out != nullptr;
+}

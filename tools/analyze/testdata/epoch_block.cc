@@ -1,0 +1,37 @@
+// Fixture: blocking acquires and Env I/O inside epoch-guarded sections
+// (storage/epoch.h: a parked optimistic reader stalls every reclaimer's
+// grace period).
+Status BlockingAcquireInEpoch(Mutex& m) {
+  EpochGuard g;
+  MutexLock lk(&m);  // EXPECT-FINDING: epoch-block
+  return Status::OK();
+}
+
+Status IoInEpoch(PageId id, char* buf) {
+  EpochGuard g;
+  return ReadPage(id, buf);  // EXPECT-FINDING: epoch-block
+}
+
+Status LatchInEpoch(PageHandle& h) {
+  EpochGuard g;
+  h.latch().AcquireS();  // EXPECT-FINDING: epoch-block
+  h.latch().ReleaseS();
+  return Status::OK();
+}
+
+// Legal: the guard's scope closes before the blocking acquire.
+Status BlockAfterEpochCloses(Mutex& m, char* buf) {
+  {
+    EpochGuard g;
+    if (!ProbeOptimistically(buf)) return Status::Busy("");
+  }
+  MutexLock lk(&m);
+  return Status::OK();
+}
+
+// Legal: a Try-acquire never parks, so it is epoch-safe.
+Status TryAcquireInEpoch(PageHandle& h) {
+  EpochGuard g;
+  if (h.latch().TryAcquireS()) h.latch().ReleaseS();
+  return Status::OK();
+}

@@ -1,0 +1,28 @@
+// Fixture: effects that only become violations through the call graph —
+// the whole reason the analyzer is interprocedural. A helper's acquire
+// summary propagates to its callers (and transitively through middlemen).
+struct Shard { Mutex mu{analysis::Rank::kPoolShard}; };
+
+void LatchHelper(PageHandle& h) {
+  h.latch().AcquireX();
+  h.latch().ReleaseX();
+}
+
+void Middleman(PageHandle& h) {
+  LatchHelper(h);
+}
+
+// The inversion is two calls deep: Middleman -> LatchHelper -> AcquireX.
+Status BlocksOnLatchViaCallChain(Shard& s, PageHandle& h) {
+  MutexLock lk(&mu);
+  Middleman(h);  // EXPECT-FINDING: rank-order
+  return Status::OK();
+}
+
+// Quiet: the same chain with the mutex dropped first.
+Status CallChainAfterUnlock(Shard& s, PageHandle& h) {
+  ReleasableMutexLock lk(&mu);
+  lk.Unlock();
+  Middleman(h);
+  return Status::OK();
+}

@@ -1,0 +1,37 @@
+// Fixture: Env I/O while a page latch is held, directly and through a
+// callee, plus the marker-suppressed design-sanctioned shape.
+Status WriteUnderLatch(PageHandle& h) {
+  h.latch().AcquireS();
+  Status s = WritePage(h.id(), h.data());  // EXPECT-FINDING: latch-io
+  h.latch().ReleaseS();
+  return s;
+}
+
+Status IoHelper(PageId id, char* buf) {
+  return ReadPage(id, buf);
+}
+
+Status IoThroughCalleeUnderLatch(PageHandle& h, char* buf) {
+  h.latch().AcquireX();
+  Status s = IoHelper(h.id(), buf);  // EXPECT-FINDING: latch-io
+  h.latch().ReleaseX();
+  return s;
+}
+
+// Legal once audited: flushing a frame under its S latch is the design
+// (the latch pins the bytes the write needs); the marker records the audit.
+Status FlushUnderSLatch(PageHandle& h) {
+  h.latch().AcquireS();
+  // analyze:allow-latch-io -- flushing under S is the §4.1 design shape
+  Status s = WritePage(h.id(), h.data());
+  h.latch().ReleaseS();
+  return s;
+}
+
+// Legal: the latch is dropped before the I/O.
+Status IoAfterRelease(PageHandle& h, char* buf) {
+  h.latch().AcquireS();
+  PageId id = h.id();
+  h.latch().ReleaseS();
+  return ReadPage(id, buf);
+}

@@ -1,0 +1,24 @@
+// Fixture: optimistic-window derefs (DESIGN.md §15): frame bytes read
+// between OptimisticBegin/FetchOptimistic and the covering Validate may be
+// torn; only validated copies may be dereferenced.
+bool DerefInsideWindow(Latch& l, PageHandle& h) {
+  uint64_t w = l.OptimisticBegin();
+  char c = h.data()[0];  // EXPECT-FINDING: olc-deref
+  return l.Validate(w) && c != 0;
+}
+
+bool ValidateThenUse(Latch& l, PageHandle& h, char* out) {
+  uint64_t w = l.OptimisticBegin();
+  if (!l.Validate(w)) return false;
+  return h.data()[0] != 0;
+}
+
+bool CalleeValidates(Latch& l, uint64_t w, char* out) {
+  return l.Validate(w);
+}
+
+bool WindowClosedByCallee(Latch& l, PageHandle& h, char* out) {
+  uint64_t w = l.OptimisticBegin();
+  if (!CalleeValidates(l, w, out)) return false;
+  return out.data()[0] != 0;
+}

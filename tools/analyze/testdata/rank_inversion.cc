@@ -1,0 +1,35 @@
+// Fixture: §11 rank-order inversions the analyzer must catch, and the
+// legal ascending orders it must stay quiet on. Each offending line carries
+// an `EXPECT-FINDING: <rule>` tag; the self-test asserts the finding set
+// matches the tags exactly.
+struct Shard { Mutex mu{analysis::Rank::kPoolShard}; };
+struct Wal { Mutex mu_{analysis::Rank::kWalMutex}; };
+
+// Inversion: blocking on a tree-page latch while a pool-shard mutex is
+// held. The shard mutex ranks above every page latch (§11: shard mutexes
+// are held only for table/LRU edits, never across a blocking latch wait).
+Status BlockOnLatchUnderShardMutex(Shard& s, PageHandle& h) {
+  MutexLock lk(&mu);
+  h.latch().AcquireX();  // EXPECT-FINDING: rank-order
+  h.latch().ReleaseX();
+  return Status::OK();
+}
+
+// Legal: the WAL append mutex is the leaf of the order — taking it while
+// holding a page latch is the normal log-append shape.
+Status WalUnderLatchIsAscending(PageHandle& h) {
+  h.latch().AcquireX();
+  MutexLock lk(&mu_);
+  h.latch().ReleaseX();
+  return Status::OK();
+}
+
+// Equal-rank tree-page acquires are legal (parent-before-child is a
+// dynamic level sub-order the runtime checker owns).
+Status CrabbingPeerLatches(PageHandle& parent, PageHandle& child) {
+  parent.latch().AcquireS();
+  child.latch().AcquireS();
+  child.latch().ReleaseS();
+  parent.latch().ReleaseS();
+  return Status::OK();
+}

@@ -1,0 +1,34 @@
+// Fixture: return sites that leak a latch hold or a naked mutex lock —
+// the forgotten-release error path — and the escape-marked intentional
+// cross-function span that must stay quiet.
+Status EarlyReturnLeaksLatch(PageHandle& h) {
+  h.latch().AcquireS();
+  if (h.id() == 0) return Status::Corruption("");  // EXPECT-FINDING: unbalanced
+  h.latch().ReleaseS();
+  return Status::OK();
+}
+
+Status LeaksNakedMutex(Wal& w) {
+  mu_.Lock();
+  if (w.closed()) return Status::IOError("");  // EXPECT-FINDING: unbalanced
+  mu_.Unlock();
+  return Status::OK();
+}
+
+// lint:tsa-escape -- returns holding the S latch: the caller owns the
+// release (the §4.1 descent hand-off); covered by the runtime checker.
+Status DescendHandsLatchToCaller(PageHandle& h) {
+  h.latch().AcquireS();
+  return Status::OK();
+}
+
+// Legal: every path releases before returning.
+Status BalancedEverywhere(PageHandle& h) {
+  h.latch().AcquireS();
+  if (h.id() == 0) {
+    h.latch().ReleaseS();
+    return Status::Corruption("");
+  }
+  h.latch().ReleaseS();
+  return Status::OK();
+}

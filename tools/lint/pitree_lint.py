@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
 """pitree custom lint: source idioms the compiler cannot check.
 
-Three rules, each enforcing a piece of the §4.1 discipline that the dynamic
-checker (src/analysis/) can only catch when a test happens to execute the
-bad path; the lint catches the pattern at review time:
+Rules enforcing pieces of the §4.1 discipline that the dynamic checker
+(src/analysis/) can only catch when a test happens to execute the bad
+path; the lint catches the pattern at review time. All in-source markers
+are declared in tools/lint/markers.py — the one registry both this lint
+and tools/analyze/concurrency_analyzer.py honor.
 
   mutex-across-io   A std::lock_guard/std::unique_lock/std::scoped_lock,
-                    ShardLock, or MuLock scope in src/ that reaches a
-                    storage I/O call (ReadPage/WritePage/Do* wrappers/...)
-                    while the guard is held. Engine rule: no mutex is ever
-                    held across Env I/O — drop via .Unlock()/.unlock()
-                    first. (Guards received as function parameters are the
-                    caller's responsibility; the runtime checker covers
-                    those.) A slow-path serialization mutex whose purpose
-                    is to span its I/O (one checkpoint / one truncation at
-                    a time) may be exempted with a
+                    ShardLock, MutexLock, or ReleasableMutexLock scope in
+                    src/ that reaches a storage I/O call
+                    (ReadPage/WritePage/Do* wrappers/...) while the guard
+                    is held. Engine rule: no mutex is ever held across Env
+                    I/O — drop via .Unlock()/.unlock() first. (Guards
+                    received as function parameters are the caller's
+                    responsibility; the runtime checker covers those.) A
+                    slow-path serialization mutex whose purpose is to span
+                    its I/O (one checkpoint / one truncation at a time)
+                    may be exempted with a
                     `lint:allow-mutex-io -- <reason>` comment on its
                     declaration line or the line directly above it.
 
@@ -32,6 +35,18 @@ bad path; the lint catches the pattern at review time:
                     .ok() launders it past -Werror; this rule closes that
                     hole.
 
+  unknown-marker    A comment shaped like a `lint:<name>`/`analyze:<name>`
+                    marker whose name is not in the tools/lint/markers.py
+                    registry (a typo'd marker silently suppresses
+                    nothing), or a registered marker missing its required
+                    `-- <reason>` / `=<value>` parts.
+
+  tsa-escape-audit  A NO_THREAD_SAFETY_ANALYSIS escape in src/ without a
+                    `lint:tsa-escape -- <reason>` marker in the lines
+                    directly above it. Every hole punched in clang's
+                    thread-safety analysis must carry its own audit
+                    record.
+
 Usage:
   tools/lint/pitree_lint.py             # lint the repo (src/ + tests/)
   tools/lint/pitree_lint.py --self-test # verify each rule fires on seeded
@@ -44,6 +59,9 @@ import argparse
 import pathlib
 import re
 import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+from markers import MARKERS  # noqa: E402  (single marker registry)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
 
@@ -102,7 +120,7 @@ class Finding:
 
 _GUARD = re.compile(
     r'\b(?:std::(?:lock_guard|unique_lock|scoped_lock)\s*<[^;>]*>'
-    r'|ShardLock|MuLock)\s+(\w+)\s*[({]')
+    r'|ShardLock|MutexLock|ReleasableMutexLock)\s+(\w+)\s*[({]')
 _IO = re.compile(
     r'\b(?:ReadPage|WritePage|ReadFileToString|WriteFileAtomic'
     r'|DoRead|DoWrite|DoSync|DoEnsureDurable)\s*\(')
@@ -242,6 +260,92 @@ def check_ignored_status(path, text):
 
 
 # ---------------------------------------------------------------------------
+# Rule: unknown-marker
+# ---------------------------------------------------------------------------
+
+_MARKER_SHAPE = re.compile(
+    r'\b((?:lint|analyze):[\w-]+)(=[\w-]+)?(\s*--\s*(\S.*))?')
+
+
+def _blank_strings(text):
+    """Yields (lineno, line) with string literals blanked, comments kept.
+
+    Markers live in comments; a marker-shaped token inside a string literal
+    (e.g. a test asserting on lint output) is not a marker.
+    """
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        yield lineno, _STRING.sub('""', line)
+
+
+def check_unknown_marker(path, text):
+    """Marker-shaped comments must name a registered marker, well-formed.
+
+    A typo'd marker (`lint:tsa-escpae`) suppresses nothing and rots
+    silently; a registered marker missing its mandatory reason defeats the
+    audit-record purpose. tools/lint/markers.py is the registry.
+    """
+    findings = []
+    for lineno, line in _blank_strings(text):
+        for m in _MARKER_SHAPE.finditer(line):
+            name = m.group(1)
+            spec = MARKERS.get(name)
+            if spec is None:
+                findings.append(Finding(
+                    path, lineno, 'unknown-marker',
+                    f'`{name}` is not a registered marker (see '
+                    f'tools/lint/markers.py); a typo here silently '
+                    f'suppresses nothing'))
+                continue
+            if spec['value_required'] and not m.group(2):
+                findings.append(Finding(
+                    path, lineno, 'unknown-marker',
+                    f'`{name}` requires a value: `{name}=<value> -- '
+                    f'<reason>`'))
+            if spec['reason_required'] and not m.group(4):
+                findings.append(Finding(
+                    path, lineno, 'unknown-marker',
+                    f'`{name}` requires a reason: `{name} -- <reason>` — '
+                    f'every suppression doubles as its own audit record'))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: tsa-escape-audit
+# ---------------------------------------------------------------------------
+
+_TSA_ESCAPE_MARKER = re.compile(r'lint:tsa-escape\s*--\s*\S')
+_TSA_EXEMPT = ('common/thread_annotations.h',)
+
+
+def check_tsa_escape_audit(path, text):
+    """Every NO_THREAD_SAFETY_ANALYSIS carries a lint:tsa-escape marker.
+
+    The escape disables clang's checking for the whole function; the marker
+    (with its mandatory reason) is the audit trail saying why that is safe
+    and which checker covers the hole instead. The marker must appear in
+    the lines directly above the escape (the comment block over the
+    signature).
+    """
+    rel = str(path)
+    if any(e in rel for e in _TSA_EXEMPT):
+        return []
+    raw = text.splitlines()
+    findings = []
+    for lineno, line in strip_code_lines(text):
+        if 'NO_THREAD_SAFETY_ANALYSIS' not in line:
+            continue
+        lo = max(0, lineno - 8)
+        window = '\n'.join(raw[lo:lineno])
+        if not _TSA_ESCAPE_MARKER.search(window):
+            findings.append(Finding(
+                path, lineno, 'tsa-escape-audit',
+                'NO_THREAD_SAFETY_ANALYSIS without a '
+                '`lint:tsa-escape -- <reason>` marker in the lines above; '
+                'every escape must carry its own audit record'))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
@@ -253,7 +357,10 @@ def lint_file(path, rel):
         findings += check_mutex_across_io(rel, text)
         findings += check_naked_latch(rel, text)
         findings += check_olc_validated(rel, text)
+    if under_src:
+        findings += check_tsa_escape_audit(rel, text)
     findings += check_ignored_status(rel, text)
+    findings += check_unknown_marker(rel, text)
     return findings
 
 
@@ -282,11 +389,17 @@ _SELF_TESTS = [
        std::lock_guard<std::mutex> lk(mu_);
        return ReadPage(id, buf);
      }''', 1),
-    ('mutex-across-io fires on WAL sync under MuLock',
+    ('mutex-across-io fires on WAL sync under ReleasableMutexLock',
      check_mutex_across_io,
      '''Status WalManager::ForceBad() {
-       MuLock lk(*this);
+       ReleasableMutexLock lk(&mu_);
        return DoSync();
+     }''', 1),
+    ('mutex-across-io fires on I/O under MutexLock',
+     check_mutex_across_io,
+     '''Status Checkpointer::WriteBad() {
+       MutexLock lk(&checkpoint_mu_);
+       return WriteFileAtomic(master_path_, rec);
      }''', 1),
     ('mutex-across-io quiet when guard dropped first',
      check_mutex_across_io,
@@ -365,6 +478,38 @@ _SELF_TESTS = [
      '''void Close() {
        if (!db->Commit(txn).ok()) return;
        bool committed = db->Commit(txn).ok();
+     }''', 0),
+    ('unknown-marker fires on a typo\'d marker name',
+     check_unknown_marker,
+     '''// lint:tsa-escpae -- transposed letters suppress nothing
+     void Helper();''', 1),
+    ('unknown-marker fires on a missing mandatory reason',
+     check_unknown_marker,
+     '''// analyze:allow-latch-io
+     s = pool->FetchPage(pid, &h);''', 1),
+    ('unknown-marker fires on a config marker missing its value',
+     check_unknown_marker,
+     '''// analyze:latch-rank -- which rank?
+     map_latch.AcquireX();''', 1),
+    ('unknown-marker quiet on well-formed registered markers',
+     check_unknown_marker,
+     '''// lint:latch-helper
+     // analyze:allow-latch-io -- crabbing child fetch
+     // analyze:latch-rank=kSpaceMap -- space-map page latch
+     void Helper();''', 0),
+    ('unknown-marker quiet on marker-shaped text inside strings',
+     check_unknown_marker,
+     '''const char* kDoc = "use lint:not-a-marker here";''', 0),
+    ('tsa-escape-audit fires on an unmarked escape',
+     check_tsa_escape_audit,
+     '''void Descend(PageHandle& h) NO_THREAD_SAFETY_ANALYSIS {
+       h.latch().AcquireS();
+     }''', 1),
+    ('tsa-escape-audit quiet with the marker above',
+     check_tsa_escape_audit,
+     '''// lint:tsa-escape -- crabbing hands latches across calls
+     void Descend(PageHandle& h) NO_THREAD_SAFETY_ANALYSIS {
+       h.latch().AcquireS();
      }''', 0),
 ]
 
